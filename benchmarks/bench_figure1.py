@@ -1,0 +1,63 @@
+"""Benchmark: regenerate Figure 1 (the 2×2 summary quadrant).
+
+Paper shape asserted (quadrant by quadrant):
+
+* local + pre-scheduled — "performance can degrade catastrophically";
+* global + pre-scheduled — robust but concurrency-limited;
+* local + self-executing — recommended: robust, lowest setup cost;
+* global + self-executing — most robust, highest setup cost.
+"""
+
+import pytest
+
+from repro.experiments.figure1 import render_quadrant, run_figure1
+
+
+@pytest.fixture(scope="module")
+def figure1(full_ctx, save_table):
+    cells, table = run_figure1(full_ctx, mesh=65, nprocs=(4, 8, 12, 16))
+    save_table("figure1", table.render() + "\n\n" + render_quadrant(cells))
+    return cells, table
+
+
+def test_figure1_shape(figure1):
+    cells, table = figure1
+    print()
+    print(render_quadrant(cells))
+    lp = cells[("local", "preschedule")]
+    gp = cells[("global", "preschedule")]
+    ls = cells[("local", "self")]
+    gs = cells[("global", "self")]
+    # Catastrophic cell: local + pre-scheduled.
+    assert lp.min_efficiency == min(c.min_efficiency for c in cells.values())
+    assert lp.min_efficiency < 0.1
+    # Global sort rescues pre-scheduling, but concurrency stays limited:
+    assert gp.min_efficiency > 2 * lp.min_efficiency
+    assert gp.mean_efficiency < gs.mean_efficiency
+    # Both self-executing cells healthy and close to each other
+    # ("improvement from global over local sorting is not very
+    # significant in the case of self-execution").
+    assert ls.min_efficiency > 0.35
+    assert gs.min_efficiency > 0.35
+    assert abs(gs.mean_efficiency - ls.mean_efficiency) < 0.25
+    # Local setup is the cheapest pipeline.
+    assert ls.setup_cost < gs.setup_cost
+
+
+def test_bench_quadrant_cell(benchmark, full_ctx, figure1):
+    """Time one (schedule, simulate) cell evaluation."""
+    from repro.core.dependence import DependenceGraph
+    from repro.core.inspector import Inspector
+    from repro.machine.simulator import simulate
+    from repro.workload.generator import generate_workload
+
+    wl = generate_workload("65mesh")
+    dep = DependenceGraph.from_lower_csr(wl.matrix)
+    inspector = Inspector(full_ctx.costs)
+
+    def cell():
+        res = inspector.inspect(dep, 16, strategy="global")
+        return simulate(res.schedule, dep, full_ctx.costs, mode="preschedule")
+
+    sim = benchmark(cell)
+    assert sim.num_phases > 0

@@ -1,0 +1,57 @@
+"""Benchmark: regenerate Figures 12/13 (effect of local ordering).
+
+Paper shape asserted: with a striped assignment and *no repartitioning*
+(local sort only), the barrier-synchronized executor's efficiency
+"varies wildly with the number of processors" and collapses, while
+self-executing synchronization pipelines across wavefronts and degrades
+only gently.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figure12 import render_ascii_chart, run_figure12
+
+
+@pytest.fixture(scope="module")
+def figure12(full_ctx, save_table):
+    points, table = run_figure12(full_ctx, mesh=65, nprocs=tuple(range(1, 17)))
+    save_table("figure12", table.render() + "\n\n" + render_ascii_chart(points))
+    return points, table
+
+
+def test_figure12_shape(figure12):
+    points, table = figure12
+    print()
+    print(table.render())
+    barrier = np.array([p.barrier_efficiency for p in points])
+    self_eff = np.array([p.self_efficiency for p in points])
+    multi = slice(1, None)  # P >= 2
+    # Self-execution dominates everywhere past one processor.
+    assert np.all(self_eff[multi] > barrier[multi])
+    # Barrier efficiency collapses catastrophically...
+    assert barrier[multi].min() < 0.1
+    # ...and oscillates (non-monotone in P).
+    diffs = np.diff(barrier[multi])
+    assert (diffs > 0).any() and (diffs < 0).any()
+    # Self-execution declines gently and stays healthy.
+    assert self_eff.min() > 0.35
+    drop = np.diff(self_eff)
+    assert np.all(drop < 0.12)
+
+
+def test_bench_self_executing_simulation(benchmark, full_ctx, figure12):
+    """Time one self-executing simulation on the 65x65 mesh (the unit
+    of work Figure 12 runs 16 times)."""
+    from repro.core.dependence import DependenceGraph
+    from repro.core.inspector import Inspector
+    from repro.machine.simulator import simulate
+    from repro.workload.generator import generate_workload
+
+    wl = generate_workload("65mesh")
+    dep = DependenceGraph.from_lower_csr(wl.matrix)
+    res = Inspector(full_ctx.costs).inspect(dep, 16, strategy="local")
+    sim = benchmark(
+        lambda: simulate(res.schedule, dep, full_ctx.costs, mode="self")
+    )
+    assert sim.total_time > 0

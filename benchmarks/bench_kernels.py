@@ -1,0 +1,88 @@
+"""Micro-benchmarks of the library's hot kernels.
+
+Not tied to a specific paper table; these give pytest-benchmark real
+statistics for the operations every experiment is built from, and guard
+against performance regressions in the substrate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dependence import DependenceGraph
+from repro.core.inspector import Inspector
+from repro.core.schedule import global_schedule
+from repro.core.wavefront import compute_wavefronts
+from repro.krylov.ilu import ILUPreconditioner, numeric_ilu
+from repro.machine.simulator import simulate
+from repro.mesh.problems import get_problem
+from repro.sparse.triangular import LevelScheduledSolver, split_triangular
+
+
+@pytest.fixture(scope="module")
+def mesh_problem():
+    return get_problem("5-PT")  # 3969 unknowns
+
+
+@pytest.fixture(scope="module")
+def factor(mesh_problem):
+    return ILUPreconditioner(mesh_problem.a, 0).factorization
+
+
+def test_bench_matvec(benchmark, mesh_problem):
+    a = mesh_problem.a
+    x = np.ones(a.nrows)
+    y = benchmark(lambda: a.matvec(x))
+    assert y.shape[0] == a.nrows
+
+
+def test_bench_wavefront_sweep(benchmark, factor):
+    dep = DependenceGraph.from_lower_csr(factor.lu)
+    wf = benchmark(lambda: compute_wavefronts(dep))
+    assert wf.max() > 0
+
+
+def test_bench_level_scheduled_solve(benchmark, factor):
+    b = np.ones(factor.lu.nrows)
+    solver = factor.lower_solver
+    x = benchmark(lambda: solver.solve(b))
+    assert np.all(np.isfinite(x))
+
+
+def test_bench_level_solver_construction(benchmark, factor):
+    """The inspector-phase cost that gets amortised."""
+    solver = benchmark.pedantic(
+        lambda: LevelScheduledSolver(factor.l_strict, lower=True,
+                                     unit_diagonal=True),
+        rounds=3, iterations=1,
+    )
+    assert solver.num_levels > 0
+
+
+def test_bench_numeric_ilu(benchmark, mesh_problem):
+    lu = benchmark.pedantic(
+        lambda: numeric_ilu(mesh_problem.a), rounds=2, iterations=1,
+    )
+    assert lu.nnz == mesh_problem.a.nnz
+
+
+def test_bench_global_inspection(benchmark, mesh_problem):
+    l, _, _ = split_triangular(mesh_problem.a)
+    dep = DependenceGraph.from_lower_csr(l)
+    res = benchmark(lambda: Inspector().inspect(dep, 16, strategy="global"))
+    assert res.schedule.nproc == 16
+
+
+def test_bench_simulate_prescheduled(benchmark, factor):
+    dep = DependenceGraph.from_lower_csr(factor.lu)
+    wf = compute_wavefronts(dep)
+    sched = global_schedule(wf, 16)
+    sim = benchmark(lambda: simulate(sched, dep, mode="preschedule"))
+    assert sim.num_phases > 0
+
+
+def test_bench_simulate_self_executing(benchmark, factor):
+    dep = DependenceGraph.from_lower_csr(factor.lu)
+    wf = compute_wavefronts(dep)
+    sched = global_schedule(wf, 16)
+    sim = benchmark(lambda: simulate(sched, dep, mode="self"))
+    assert sim.total_time > 0

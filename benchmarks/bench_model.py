@@ -1,0 +1,90 @@
+"""Benchmark: Section 4.2 model validation + the dense extreme case.
+
+Paper shape asserted: the closed-form efficiencies (equations (3)-(5))
+agree with the event-driven simulator *exactly*; the time-ratio
+expression (equation (6)) tracks the simulated ratio; the dense
+triangular example reproduces "slightly under half" efficiency for
+self-execution against ``1/(n-1)`` for pre-scheduling.
+"""
+
+import pytest
+
+from repro.analysis.dense import DenseTriangularModel
+from repro.analysis.model import ModelProblem, ratio_limit_square, time_ratio
+from repro.experiments.model_check import run_model_check
+
+
+@pytest.fixture(scope="module")
+def model_rows(full_ctx, save_table):
+    rows, table = run_model_check(full_ctx)
+    save_table("model_check", table.render())
+    return rows, table
+
+
+def test_model_agreement(model_rows):
+    rows, table = model_rows
+    print()
+    print(table.render())
+    for r in rows:
+        # Load-balance efficiencies: exact agreement.
+        assert r.max_error < 1e-9, (r.m, r.n, r.p)
+        # Full time ratio: the closed form tracks the simulation.
+        assert abs(r.ratio_analytic - r.ratio_sim) / r.ratio_sim < 0.35
+
+
+def test_square_limit_behaviour(full_ctx):
+    """Equation (7): for big square domains pre-scheduling wins by the
+    shared-cost factor."""
+    c = full_ctx.costs
+    lim = ratio_limit_square(r_inc=c.r_inc, r_check=c.r_check)
+    assert lim < 1.0  # pre-scheduling preferable in the limit
+    # Convergence is slow: the dropped sync term scales as (n+m)/mn, so
+    # only very large square domains approach the limit — itself the
+    # paper's point that pre-scheduling needs big regular problems.
+    big = time_ratio(2048, 2048, 16, r_sync=c.r_sync(16),
+                     r_inc=c.r_inc, r_check=c.r_check)
+    assert abs(big - lim) / lim < 0.25
+    # And the approach is monotone from above.
+    mid = time_ratio(512, 512, 16, r_sync=c.r_sync(16),
+                     r_inc=c.r_inc, r_check=c.r_check)
+    assert big < mid
+
+
+def test_skinny_domain_favors_self(full_ctx):
+    """For m >> n = p + 1 self-execution wins big (half the machine
+    idles under pre-scheduling)."""
+    c = full_ctx.costs
+    r = time_ratio(1024, 17, 16, r_sync=c.r_sync(16),
+                   r_inc=c.r_inc, r_check=c.r_check)
+    assert r > 1.4
+
+
+def test_dense_extreme_case(save_table):
+    d = DenseTriangularModel(64)
+    lines = [
+        "Dense n x n unit-diagonal triangular solve on n-1 processors",
+        f"n = {d.n}",
+        f"self-executing E_opt  = {d.eopt_self():.4f}  (paper: n/(2(n-1)))",
+        f"pre-scheduled  E_opt  = {d.eopt_prescheduled():.4f}  (paper: 1/(n-1))",
+        f"fine-grained simulated time = {d.simulate_fine_grained():.1f} T_saxpy "
+        f"(closed form: {d.self_executing_time():.1f})",
+    ]
+    save_table("dense_model", "\n".join(lines))
+    assert 0.5 < d.eopt_self() < 0.52  # slightly above one half
+    assert d.eopt_prescheduled() == pytest.approx(1 / 63)
+    assert d.simulate_fine_grained() == pytest.approx(d.self_executing_time())
+
+
+def test_bench_model_simulation(benchmark, full_ctx, model_rows):
+    """Time the simulator on the 64x64 model problem."""
+    from repro.core.schedule import global_schedule
+    from repro.machine.simulator import simulate
+
+    mp = ModelProblem(64, 64, full_ctx.costs)
+    dep = mp.dependence_graph()
+    sched = global_schedule(mp.wavefronts(), 16)
+    sim = benchmark(
+        lambda: simulate(sched, dep, full_ctx.costs, mode="self",
+                         unit_work=mp.uniform_work())
+    )
+    assert sim.total_time > 0

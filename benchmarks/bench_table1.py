@@ -1,0 +1,61 @@
+"""Benchmark: regenerate Table 1 (PCGPAK self-execution vs pre-scheduling).
+
+Paper shape asserted: self-execution yields the lowest times and highest
+efficiencies for all test problems *except* the large regular 7-point
+operator, where pre-scheduling's few cheap barriers win; inspection
+(sort) time is a small fraction of total solve time.
+"""
+
+import pytest
+
+from repro.experiments.table1 import run_table1
+from repro.krylov.parallel import ParallelSolver
+from repro.mesh.problems import get_problem
+
+PROBLEMS = ("SPE1", "SPE2", "SPE3", "SPE4", "SPE5", "5-PT", "9-PT", "7-PT", "L7-PT")
+
+
+@pytest.fixture(scope="module")
+def table1(full_ctx, save_table):
+    rows, table = run_table1(full_ctx, problems=PROBLEMS)
+    save_table("table1", table.render())
+    return rows, table
+
+
+def test_table1_shape(table1):
+    rows, table = table1
+    print()
+    print(table.render())
+    by_name = {r.problem: r for r in rows}
+    # Self-execution wins everywhere except the large 7-point operator.
+    for name in ("SPE1", "SPE2", "SPE3", "SPE4", "SPE5", "5-PT", "9-PT"):
+        assert by_name[name].self_wins, name
+        assert by_name[name].self_efficiency > by_name[name].presched_efficiency
+    assert not by_name["L7-PT"].self_wins  # the paper's crossover
+    # 7-PT is the closest contest among the self-executing wins.
+    margins = {n: by_name[n].time_ratio for n in by_name if n != "L7-PT"}
+    assert max(margins, key=margins.get) == "7-PT"
+    # Substantial wins on the SPE problems (paper: < 70% of presched).
+    assert by_name["SPE4"].time_ratio < 0.7
+    # Sort time amortises.  On the PDE problems (realistic iteration
+    # counts) inspection is well under 6% of the solve; on our synthetic
+    # SPE matrices block ILU(0) is nearly exact, so with only a handful
+    # of iterations the weaker claim is the honest one: inspecting costs
+    # less than a single solve even before amortisation.
+    for r in rows:
+        assert r.sort_time < r.self_time
+    for name in ("5-PT", "9-PT", "7-PT", "L7-PT"):
+        assert by_name[name].sort_time < 0.08 * by_name[name].self_time
+
+
+def test_bench_parallel_solve_5pt(benchmark, full_ctx, table1):
+    """Time one full priced parallel solve (the Table 1 unit of work)."""
+    prob = get_problem("5-PT")
+    solver = ParallelSolver(prob.a, full_ctx.nproc, executor="self",
+                            scheduler="global", costs=full_ctx.costs)
+
+    def run():
+        return solver.solve(prob.b, method="gmres", tol=1e-8, maxiter=400)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report.converged

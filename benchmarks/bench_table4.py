@@ -1,0 +1,61 @@
+"""Benchmark: regenerate Table 4 (projections to 32 and 64 processors).
+
+Paper shape asserted: self-execution dominates pre-scheduling at every
+projected machine size and the advantage is large at 64 processors
+("the projected performance of the pre-scheduled programs deteriorates
+much more rapidly").
+"""
+
+import pytest
+
+from repro.experiments.table4 import run_table4
+
+
+@pytest.fixture(scope="module")
+def table4(full_ctx, save_table):
+    rows, table = run_table4(full_ctx)
+    save_table("table4", table.render())
+    return rows, table
+
+
+def test_table4_shape(table4):
+    rows, table = table4
+    print()
+    print(table.render())
+    for r in rows:
+        for p in (16, 32, 64):
+            assert r.self_eff[p] > r.presched_eff[p], (r.problem, p)
+        # Monotone decline with machine size for both executors.
+        assert r.self_eff[16] >= r.self_eff[32] >= r.self_eff[64]
+        assert r.presched_eff[16] >= r.presched_eff[32] >= r.presched_eff[64]
+        # Advantage persists at 64 processors (narrowest on the regular
+        # 7-point operator, consistent with Table 1's crossover there).
+        assert r.self_eff[64] / r.presched_eff[64] > 1.3, r.problem
+        # Best (overhead-only) efficiency bounds the projections.
+        assert r.self_eff[16] <= r.best_self + 1e-9
+    # On the irregular problems the advantage is wide.
+    wide = [r for r in rows
+            if r.self_eff[64] / r.presched_eff[64] > 1.5]
+    assert len(wide) >= 4
+    # And widest on the mesh problems with many narrow wavefronts.
+    by_name = {r.problem: r for r in rows}
+    assert by_name["5-PT"].self_eff[64] / by_name["5-PT"].presched_eff[64] > 3.0
+
+
+def test_bench_projection(benchmark, full_ctx, table4):
+    from repro.analysis.projections import project_efficiencies
+    from repro.core.dependence import DependenceGraph
+    from repro.krylov.ilu import ILUPreconditioner
+    from repro.mesh.problems import get_problem
+
+    prob = get_problem("SPE2")
+    lu = ILUPreconditioner(prob.a, 0).factorization.lu
+    dep = DependenceGraph.from_lower_csr(lu)
+    proj = benchmark.pedantic(
+        lambda: project_efficiencies(
+            dep, executor="self", base_nproc=16, target_nprocs=(16, 32, 64),
+            costs=full_ctx.costs,
+        ),
+        rounds=2, iterations=1,
+    )
+    assert 0 < proj.best <= 1.0

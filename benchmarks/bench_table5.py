@@ -1,0 +1,57 @@
+"""Benchmark: regenerate Table 5 (local vs global index-set scheduling).
+
+Paper shape asserted: local scheduling overhead is far below global
+scheduling overhead; the parallelized sort costs a modest fraction of a
+sequential iteration; run-time differences between the two schedules
+under self-execution are modest ("not very significant").
+"""
+
+import pytest
+
+from repro.experiments.table5 import TABLE5_WORKLOADS, run_table5
+
+
+@pytest.fixture(scope="module")
+def table5(full_ctx, save_table):
+    rows, table = run_table5(full_ctx, workloads=TABLE5_WORKLOADS)
+    save_table("table5", table.render())
+    return rows, table
+
+
+def test_table5_shape(table5):
+    rows, table = table5
+    print()
+    print(table.render())
+    for r in rows:
+        # Local scheduling's extra step is far cheaper than global's.
+        assert r.local_sched < 0.25 * r.rearrange, r.workload
+        assert r.local_overhead < r.global_overhead
+        # Scheduling is amortisable: sequential sort < one iteration.
+        assert r.seq_sort < r.seq_time
+        # Self-executing run times: local vs global within a modest
+        # factor (the "not very significant" finding).
+        assert 0.4 < r.global_run / r.local_run < 2.5, r.workload
+    # Parallel sort cost as a fraction of a sequential iteration: the
+    # paper reports 17-61%.  The random workloads land in that band;
+    # the plain mesh is the adversarial case — its wavefront sweep is
+    # chained along rows (index i needs i-1), so striped doacross
+    # parallelization buys nothing there (~100%, the same limited-
+    # concurrency effect Section 5.1.2 reports for doacross loops).
+    for r in rows:
+        assert 0.1 < r.par_sort / r.seq_time < 1.1, r.workload
+    random_rows = [r for r in rows if "mesh" not in r.workload]
+    for r in random_rows:
+        assert r.par_sort / r.seq_time < 0.7, r.workload
+
+
+def test_bench_inspection_global(benchmark, full_ctx, table5):
+    """Time one global inspection (sort + rearrange) on 65-4-3."""
+    from repro.core.dependence import DependenceGraph
+    from repro.core.inspector import Inspector
+    from repro.workload.generator import generate_workload
+
+    wl = generate_workload("65-4-3")
+    dep = DependenceGraph.from_lower_csr(wl.matrix)
+    inspector = Inspector(full_ctx.costs)
+    res = benchmark(lambda: inspector.inspect(dep, 16, strategy="global"))
+    assert res.schedule.nproc == 16

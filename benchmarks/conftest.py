@@ -1,0 +1,38 @@
+"""Benchmark harness configuration.
+
+Every ``bench_*`` module regenerates one table or figure of the paper
+at full problem scale, asserts its qualitative shape, and saves the
+rendered table under ``benchmarks/results/`` so the numbers recorded in
+``EXPERIMENTS.md`` can be refreshed.
+
+Heavy one-shot computations are cached in session fixtures; the
+``benchmark`` fixture then times a representative kernel so
+pytest-benchmark's statistics stay meaningful.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.runner import ExperimentContext
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def full_ctx() -> ExperimentContext:
+    """Paper-scale context: 16 simulated processors, full problem sizes."""
+    return ExperimentContext(nproc=16, scale=1.0, maxiter=400)
+
+
+@pytest.fixture(scope="session")
+def save_table():
+    """Persist a rendered table under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _save

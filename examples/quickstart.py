@@ -1,0 +1,76 @@
+"""Quickstart: parallelize a loop whose dependences are run-time data.
+
+The loop below (Figure 3 of the paper) cannot be parallelized at
+compile time — iteration ``i`` reads ``x[ia[i]]``, and ``ia`` is data.
+This script shows the two ways the library handles it:
+
+1. the ``doconsider`` API — hand over the dependence source, get back a
+   schedule, an executor, and simulated machine timings;
+2. the automated source transformer — generate the inspector and the
+   Figure 4/5 executors directly from the loop's source code.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import doconsider, parallelize_source
+from repro.core import SimpleLoopKernel
+
+rng = np.random.default_rng(2024)
+n = 2000
+x0 = rng.standard_normal(n)
+b = 0.5 * rng.standard_normal(n)
+ia = rng.integers(0, n, size=n)  # run-time dependence data
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. The doconsider construct
+    # ------------------------------------------------------------------
+    kernel = SimpleLoopKernel(x0, b, ia)
+    out = doconsider(
+        kernel,
+        deps=ia,            # the inspector reads the indirection array
+        nproc=16,           # simulated processors
+        executor="self",    # Figure 1's recommendation
+        scheduler="local",
+    )
+    print("doconsider: x[:4] =", np.round(out.x[:4], 4))
+    print(f"  wavefronts          : {out.inspection.num_wavefronts}")
+    print(f"  simulated time      : {out.sim.total_time / 1000:.2f} model-ms")
+    print(f"  parallel efficiency : {out.sim.efficiency:.3f}")
+    print(f"  inspection cost     : {out.inspection.costs.total_local / 1000:.2f} model-ms"
+          " (amortised across executions)")
+
+    # Compare executors on the same loop.
+    print("\nexecutor comparison (same loop, 16 processors):")
+    for executor in ("self", "preschedule", "doacross"):
+        res = doconsider(
+            SimpleLoopKernel(x0, b, ia), deps=ia, nproc=16,
+            executor=executor, scheduler="global",
+        )
+        print(f"  {executor:<12} {res.sim.total_time / 1000:8.2f} model-ms   "
+              f"efficiency {res.sim.efficiency:.3f}")
+
+    # ------------------------------------------------------------------
+    # 2. The automated transformation (Section 2.2)
+    # ------------------------------------------------------------------
+    loop = parallelize_source(
+        """
+def simple(x, b, ia, n):
+    for i in range(n):
+        x[i] = x[i] + b[i] * x[ia[i]]
+"""
+    )
+    print("\ngenerated self-executing executor (Figure 4):\n")
+    print(loop.self_executor_source)
+
+    got = loop.run(x0, b, ia, n, nproc=8, executor="self")
+    ref = loop.run_original(x0, b, ia, n)
+    print("transformed loop matches the sequential original:",
+          np.allclose(got, ref))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""The Section 4.1 synthetic workload generator, explored.
+
+Generates the paper's Table 5 workloads (Poisson out-degree × geometric
+link distance on a 2-D mesh), shows their dependence structure, and
+reruns the local-vs-global scheduling comparison plus the Figure 12
+synchronization sweep on one of them.
+
+Run:  python examples/synthetic_workload.py
+"""
+
+import numpy as np
+
+from repro.core import DependenceGraph, Inspector, compute_wavefronts
+from repro.machine import MULTIMAX_320, simulate
+from repro.workload import generate_workload
+
+NPROC = 16
+
+
+def describe(name: str) -> None:
+    wl = generate_workload(name)
+    dep = DependenceGraph.from_lower_csr(wl.matrix)
+    wf = compute_wavefronts(dep)
+    deg = wl.dependence_counts()
+    print(f"\nworkload {wl.name}: {wl.n} indices, "
+          f"{dep.num_edges} dependence links")
+    print(f"  in-degree mean/max      : {deg.mean():.2f} / {deg.max()}")
+    print(f"  wavefronts (phases)     : {wf.max() + 1}")
+
+    inspector = Inspector()
+    res_g = inspector.inspect(dep, NPROC, strategy="global")
+    res_l = inspector.inspect(dep, NPROC, strategy="local")
+    sim_g = simulate(res_g.schedule, dep, MULTIMAX_320, mode="self")
+    sim_l = simulate(res_l.schedule, dep, MULTIMAX_320, mode="self")
+    print(f"  global: setup {res_g.costs.total_global / 1000:6.1f} model-ms, "
+          f"run {sim_g.total_time / 1000:6.1f}, eff {sim_g.efficiency:.3f}")
+    print(f"  local : setup {res_l.costs.total_local / 1000:6.1f} model-ms, "
+          f"run {sim_l.total_time / 1000:6.1f}, eff {sim_l.efficiency:.3f}")
+
+
+def synchronization_sweep(name: str) -> None:
+    """Figure 12's experiment on a synthetic workload."""
+    wl = generate_workload(name)
+    dep = DependenceGraph.from_lower_csr(wl.matrix)
+    inspector = Inspector()
+    print(f"\nbarrier vs self-execution on {name} "
+          "(striped assignment, local sort only):")
+    print(f"{'p':>4} {'barrier eff':>12} {'self eff':>10}")
+    for p in (2, 4, 8, 12, 16):
+        res = inspector.inspect(dep, p, strategy="local")
+        pre = simulate(res.schedule, dep, MULTIMAX_320, mode="preschedule")
+        slf = simulate(res.schedule, dep, MULTIMAX_320, mode="self")
+        print(f"{p:>4} {pre.efficiency:>12.3f} {slf.efficiency:>10.3f}")
+
+
+def main() -> None:
+    for name in ("65-4-1.5", "65-4-3", "65mesh"):
+        describe(name)
+    synchronization_sweep("65-4-3")
+
+
+if __name__ == "__main__":
+    main()

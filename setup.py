@@ -1,0 +1,12 @@
+"""Legacy setuptools shim.
+
+Metadata lives in ``pyproject.toml``; this file exists so that editable
+installs work on machines without the ``wheel`` package (offline
+environments), via::
+
+    pip install -e . --no-use-pep517 --no-build-isolation
+"""
+
+from setuptools import setup
+
+setup()

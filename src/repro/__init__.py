@@ -1,0 +1,61 @@
+"""repro — run-time parallelization and scheduling of loops.
+
+A production-quality reproduction of Saltz, Mirchandaney & Baxter,
+*Run-Time Parallelization and Scheduling of Loops* (ICASE 88-70 /
+SPAA 1989): the inspector/executor model, the ``doconsider`` construct,
+wavefront scheduling (global and local), pre-scheduled and
+self-executing executors, an automated loop transformer, a simulated
+shared-memory multiprocessor, a parallel preconditioned Krylov solver
+(PCGPAK stand-in), and the paper's full experimental harness.
+
+Quick start
+-----------
+>>> import numpy as np
+>>> from repro import doconsider
+>>> from repro.core import SimpleLoopKernel
+>>> ia = np.array([0, 0, 1, 2, 1, 4])
+>>> kernel = SimpleLoopKernel(np.ones(6), 0.5 * np.ones(6), ia)
+>>> out = doconsider(kernel, deps=ia, nproc=4)
+>>> round(float(out.sim.efficiency), 3) <= 1.0
+True
+
+See ``examples/`` for full walkthroughs and ``benchmarks/`` for the
+table/figure reproductions.
+"""
+
+from .errors import (
+    ReproError,
+    ValidationError,
+    StructureError,
+    ScheduleError,
+    DeadlockError,
+    TransformError,
+    ConvergenceError,
+)
+from .core.doconsider import doconsider, DoconsiderLoop, DoconsiderResult
+from .core.transform import parallelize, parallelize_source, ParallelizedLoop
+from .core.inspector import Inspector, InspectionResult
+from .machine.costs import MachineCosts, MULTIMAX_320
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "StructureError",
+    "ScheduleError",
+    "DeadlockError",
+    "TransformError",
+    "ConvergenceError",
+    "doconsider",
+    "DoconsiderLoop",
+    "DoconsiderResult",
+    "parallelize",
+    "parallelize_source",
+    "ParallelizedLoop",
+    "Inspector",
+    "InspectionResult",
+    "MachineCosts",
+    "MULTIMAX_320",
+    "__version__",
+]

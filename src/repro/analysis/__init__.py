@@ -1,0 +1,39 @@
+"""Analytical models from Section 4.2 of the paper.
+
+* :mod:`~repro.analysis.model` — the closed-form efficiency model for
+  the m×n five-point model problem: per-phase strip counts ``MC(j)``,
+  pre-scheduled and self-executing optimal efficiencies (equations
+  (1)–(5)), and the pre-scheduled/self-executing time ratio with its
+  large-problem limits (equations (6)–(7));
+* :mod:`~repro.analysis.dense` — the dense-triangular extreme case
+  (every row its own wavefront);
+* :mod:`~repro.analysis.projections` — the constant-overhead
+  projection method behind Table 4.
+"""
+
+from .model import (
+    ModelProblem,
+    mc_prescheduled,
+    eopt_prescheduled_exact,
+    eopt_prescheduled_approx,
+    eopt_self_executing,
+    time_ratio,
+    ratio_limit_fixed_n,
+    ratio_limit_square,
+)
+from .dense import DenseTriangularModel
+from .projections import project_efficiencies, EfficiencyProjection
+
+__all__ = [
+    "ModelProblem",
+    "mc_prescheduled",
+    "eopt_prescheduled_exact",
+    "eopt_prescheduled_approx",
+    "eopt_self_executing",
+    "time_ratio",
+    "ratio_limit_fixed_n",
+    "ratio_limit_square",
+    "DenseTriangularModel",
+    "project_efficiencies",
+    "EfficiencyProjection",
+]

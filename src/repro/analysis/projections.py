@@ -1,0 +1,91 @@
+"""Efficiency projections to larger machines (Table 4, Section 5.1.3).
+
+"These projections make the assumption that the costs of
+synchronization, the costs from the extra operations required to run
+the parallel versions of the codes and the costs due to contention do
+not change with the number of processors."
+
+Method: at the measured processor count, factor the observed efficiency
+into (symbolically estimated efficiency) × (overhead factor); hold the
+overhead factor fixed; recompute the symbolically estimated efficiency
+at the target processor count with a fresh schedule.  The ``Best``
+column is the overhead factor itself — the efficiency a perfectly
+load-balanced run would reach.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.dependence import DependenceGraph
+from ..core.inspector import Inspector
+from ..errors import ValidationError
+from ..machine.costs import MachineCosts, MULTIMAX_320
+from ..machine.simulator import simulate
+
+__all__ = ["EfficiencyProjection", "project_efficiencies"]
+
+
+@dataclass
+class EfficiencyProjection:
+    """Projected efficiencies for one executor on one problem."""
+
+    executor: str
+    scheduler: str
+    base_nproc: int
+    #: Overhead factor — the "Best" efficiency (perfect load balance).
+    best: float
+    #: processor count -> projected efficiency
+    projected: dict
+
+    def at(self, p: int) -> float:
+        return self.projected[p]
+
+
+def project_efficiencies(
+    dep: DependenceGraph,
+    *,
+    executor: str,
+    scheduler: str = "global",
+    base_nproc: int = 16,
+    target_nprocs: tuple[int, ...] = (16, 32, 64),
+    costs: MachineCosts = MULTIMAX_320,
+    unit_work: np.ndarray | None = None,
+) -> EfficiencyProjection:
+    """Project measured efficiency to larger processor counts.
+
+    The "measured" efficiency is the machine simulation at
+    ``base_nproc`` (our stand-in for the 16-processor Multimax run);
+    symbolically estimated efficiencies at every target count come from
+    zero-overhead simulations with schedules rebuilt per count.
+    """
+    if executor not in ("self", "preschedule"):
+        raise ValidationError("executor must be 'self' or 'preschedule'")
+    inspector = Inspector(costs)
+    zero = costs.with_overheads_zeroed()
+
+    def schedule_for(p):
+        return inspector.inspect(dep, p, strategy=scheduler).schedule
+
+    base_sched = schedule_for(base_nproc)
+    measured = simulate(base_sched, dep, costs, mode=executor,
+                        unit_work=unit_work).efficiency
+    e_sym_base = simulate(base_sched, dep, zero, mode=executor,
+                          unit_work=unit_work).efficiency
+    best = measured / e_sym_base
+
+    projected = {}
+    for p in target_nprocs:
+        sched = base_sched if p == base_nproc else schedule_for(p)
+        e_sym = simulate(sched, dep, zero, mode=executor,
+                         unit_work=unit_work).efficiency
+        projected[p] = best * e_sym
+    return EfficiencyProjection(
+        executor=executor,
+        scheduler=scheduler,
+        base_nproc=base_nproc,
+        best=best,
+        projected=projected,
+    )

@@ -1,0 +1,224 @@
+"""Iteration-level dependence graphs.
+
+A :class:`DependenceGraph` records, for each outer-loop index ``i``,
+the set of indices whose results ``i`` consumes.  In the paper these
+dependences come from run-time data — the contents of an indirection
+array (``ia`` in Figure 3), or the column structure of a sparse
+triangular factor (``ija`` in Figure 8) — which is exactly why
+compile-time analysis fails and a run-time inspector is needed.
+
+The canonical storage is CSR-like: ``indptr``/``indices`` where row
+``i`` lists the *predecessors* (dependences) of index ``i``.  All
+predecessors must be earlier indices (``j < i``) for "lower" problems;
+the class also supports general DAGs for reordered/upper problems.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import StructureError
+from ..sparse.csr import CSRMatrix
+from ..util.validation import as_int_array, check_index_array, check_positive
+
+__all__ = ["DependenceGraph"]
+
+
+class DependenceGraph:
+    """Predecessor lists for every loop index, in CSR layout.
+
+    Parameters
+    ----------
+    indptr, indices:
+        ``indices[indptr[i]:indptr[i+1]]`` are the indices that
+        iteration ``i`` depends on.
+    n:
+        Number of loop indices.
+    check_acyclic:
+        When true, verify the graph is a DAG (cheap when dependences
+        all point backwards, which is also verified).
+    """
+
+    __slots__ = ("indptr", "indices", "n", "_succ_indptr", "_succ_indices")
+
+    def __init__(self, indptr, indices, n: int, *, check_acyclic: bool = True):
+        self.n = check_positive(n, "n") if n else 0
+        self.indptr = as_int_array(indptr, "indptr")
+        self.indices = check_index_array(indices, self.n, "indices")
+        if self.indptr.shape[0] != self.n + 1:
+            raise StructureError(
+                f"indptr must have length n+1={self.n + 1}, got {self.indptr.shape[0]}"
+            )
+        if self.indptr[0] != 0 or np.any(np.diff(self.indptr) < 0):
+            raise StructureError("indptr must start at 0 and be non-decreasing")
+        if int(self.indptr[-1]) != self.indices.shape[0]:
+            raise StructureError("indices length must equal indptr[-1]")
+        self._succ_indptr: np.ndarray | None = None
+        self._succ_indices: np.ndarray | None = None
+        if check_acyclic and not self.all_backward():
+            self._check_dag()
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_indirection(cls, ia, n: int | None = None) -> "DependenceGraph":
+        """Dependences of the Figure 3 loop ``x[i] += b[i] * x[ia[i]]``.
+
+        Iteration ``i`` depends on iteration ``ia[i]`` when
+        ``ia[i] < i`` — a *forward* reference (``ia[i] >= i``) reads the
+        old value ``xold`` and carries no dependence, exactly as the
+        transformed loop of Figure 4 distinguishes.
+        """
+        ia = as_int_array(ia, "ia")
+        if n is None:
+            n = ia.shape[0]
+        n = int(n)
+        dep_exists = ia[:n] < np.arange(n)
+        counts = dep_exists.astype(np.int64)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        indices = ia[:n][dep_exists]
+        return cls(indptr, indices, n, check_acyclic=False)
+
+    @classmethod
+    def from_indirection_nested(cls, g, n: int | None = None) -> "DependenceGraph":
+        """Dependences of the Figure 6 nested loop ``y[i] += t * y[g[i, j]]``.
+
+        ``g`` is an ``(n, m)`` array; iteration ``i`` depends on every
+        ``g[i, j] < i`` (duplicates collapsed).
+        """
+        g = as_int_array(g, "g")
+        if g.ndim != 2:
+            raise StructureError(f"g must be 2-D, got shape {g.shape}")
+        if n is None:
+            n = g.shape[0]
+        n = int(n)
+        indptr = [0]
+        indices: list[np.ndarray] = []
+        for i in range(n):
+            deps = np.unique(g[i])
+            deps = deps[deps < i]
+            indices.append(deps)
+            indptr.append(indptr[-1] + deps.shape[0])
+        return cls(
+            np.asarray(indptr, dtype=np.int64),
+            np.concatenate(indices) if indices else np.empty(0, dtype=np.int64),
+            n,
+            check_acyclic=False,
+        )
+
+    @classmethod
+    def from_lower_csr(cls, l: CSRMatrix) -> "DependenceGraph":
+        """Dependences of a forward substitution with matrix ``l``.
+
+        Row ``i`` of the solve needs ``x[j]`` for every stored strictly
+        lower entry ``(i, j)`` — the Figure 8 loop.
+        """
+        n = l.nrows
+        rows = l.row_of_nnz()
+        strict = l.indices < rows
+        counts = np.bincount(rows[strict], minlength=n)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(indptr, l.indices[strict], n, check_acyclic=False)
+
+    @classmethod
+    def from_upper_csr(cls, u: CSRMatrix) -> "DependenceGraph":
+        """Dependences of a backward substitution, *renumbered*.
+
+        The backward solve visits rows ``n-1 .. 0``; renumbering
+        ``i -> n-1-i`` turns it into a forward problem so all the
+        scheduling machinery applies unchanged.  Use
+        :func:`numpy.flip` conventions to map results back.
+        """
+        n = u.nrows
+        rows = u.row_of_nnz()
+        strict = u.indices > rows
+        # Renumber: iteration (n-1-i) depends on (n-1-j) for j > i.
+        new_rows = n - 1 - rows[strict]
+        new_cols = n - 1 - u.indices[strict]
+        order = np.argsort(new_rows, kind="stable")
+        counts = np.bincount(new_rows, minlength=n)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(indptr, new_cols[order], n, check_acyclic=False)
+
+    @classmethod
+    def from_edges(cls, edges, n: int) -> "DependenceGraph":
+        """Build from ``(dependent, dependence)`` pairs (i depends on j)."""
+        n = check_positive(n, "n")
+        if len(edges):
+            e = np.asarray(edges, dtype=np.int64)
+            if e.ndim != 2 or e.shape[1] != 2:
+                raise StructureError("edges must be (k, 2)-shaped")
+            rows, cols = e[:, 0], e[:, 1]
+        else:
+            rows = cols = np.empty(0, dtype=np.int64)
+        order = np.lexsort((cols, rows))
+        rows, cols = rows[order], cols[order]
+        counts = np.bincount(rows, minlength=n)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(indptr, cols, n)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        return int(self.indptr[-1])
+
+    def deps(self, i: int) -> np.ndarray:
+        """Predecessors of index ``i`` (view)."""
+        return self.indices[self.indptr[i] : self.indptr[i + 1]]
+
+    def dep_counts(self) -> np.ndarray:
+        """In-degree (number of dependences) of each index."""
+        return np.diff(self.indptr)
+
+    def all_backward(self) -> bool:
+        """True when every dependence points to a smaller index.
+
+        Such graphs are trivially acyclic — the start-time schedulable
+        case the paper restricts itself to.
+        """
+        if self.num_edges == 0:
+            return True
+        rows = np.repeat(np.arange(self.n, dtype=np.int64), self.dep_counts())
+        return bool(np.all(self.indices < rows))
+
+    def successors(self) -> tuple[np.ndarray, np.ndarray]:
+        """CSR of the reversed edges: who depends on me (cached)."""
+        if self._succ_indptr is None:
+            counts = np.bincount(self.indices, minlength=self.n)
+            indptr = np.zeros(self.n + 1, dtype=np.int64)
+            np.cumsum(counts, out=indptr[1:])
+            fill = indptr[:-1].copy()
+            succ = np.empty(self.num_edges, dtype=np.int64)
+            rows = np.repeat(np.arange(self.n, dtype=np.int64), self.dep_counts())
+            for k in range(self.num_edges):
+                j = self.indices[k]
+                succ[fill[j]] = rows[k]
+                fill[j] += 1
+            self._succ_indptr, self._succ_indices = indptr, succ
+        return self._succ_indptr, self._succ_indices
+
+    def _check_dag(self) -> None:
+        """Kahn's algorithm; raises :class:`StructureError` on a cycle."""
+        indeg = self.dep_counts().copy()
+        stack = list(np.nonzero(indeg == 0)[0])
+        succ_indptr, succ_indices = self.successors()
+        seen = 0
+        while stack:
+            j = stack.pop()
+            seen += 1
+            for i in succ_indices[succ_indptr[j] : succ_indptr[j + 1]]:
+                indeg[i] -= 1
+                if indeg[i] == 0:
+                    stack.append(int(i))
+        if seen != self.n:
+            raise StructureError("dependence graph contains a cycle")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DependenceGraph(n={self.n}, edges={self.num_edges})"

@@ -1,0 +1,58 @@
+"""The plain doacross baseline (Section 5.1.2).
+
+"Recall that the self-executing loop is a doacross loop with a
+reordered index set."  The doacross executor therefore *is* the
+self-executing executor run over the identity schedule, with one cost
+difference the paper highlights: because the index set is not
+reordered, there is no schedule-array access overhead — the Multimax
+measurements showed doacross has lower overhead but far less
+concurrency, and ends up slower than both alternatives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..machine.costs import MachineCosts, MULTIMAX_320
+from ..machine.simulator import SimResult, simulate_self_executing
+from ..machine.threads import ThreadedMachine
+from .dependence import DependenceGraph
+from .executor import LoopKernel
+from .schedule import Schedule, identity_schedule
+
+__all__ = ["DoacrossExecutor"]
+
+
+class DoacrossExecutor:
+    """Busy-wait execution in original index order (wrapped ownership)."""
+
+    mode = "doacross"
+
+    def __init__(self, dep: DependenceGraph, nproc: int,
+                 costs: MachineCosts = MULTIMAX_320,
+                 wavefronts: np.ndarray | None = None):
+        from .wavefront import compute_wavefronts  # deferred: module order
+
+        self.dep = dep
+        self.costs = costs
+        wf = wavefronts if wavefronts is not None else compute_wavefronts(dep)
+        self.schedule: Schedule = identity_schedule(wf, nproc)
+
+    def run(self, kernel: LoopKernel) -> np.ndarray:
+        """Numeric execution — original order is legal for backward deps."""
+        kernel.start()
+        for i in range(kernel.n):
+            kernel.execute_index(i)
+        return kernel.result()
+
+    def simulate(self, *, unit_work: np.ndarray | None = None) -> SimResult:
+        return simulate_self_executing(
+            self.schedule, self.dep, self.costs,
+            mode="doacross", unit_work=unit_work,
+        )
+
+    def run_threaded(self, kernel: LoopKernel, *, timeout: float = 30.0) -> np.ndarray:
+        kernel.start()
+        machine = ThreadedMachine(self.schedule.nproc, timeout=timeout)
+        machine.run_self_executing(kernel, self.schedule, self.dep)
+        return kernel.result()

@@ -1,0 +1,166 @@
+"""The ``doconsider`` construct — the paper's user-facing API.
+
+A ``doconsider`` loop is one whose iterations *may* be profitably
+reordered subject to run-time dependences.  In the paper this is a
+language annotation handled by the compiler; here it is a function /
+reusable object:
+
+>>> import numpy as np
+>>> from repro import doconsider
+>>> from repro.core import SimpleLoopKernel
+>>> ia = np.array([0, 0, 1, 0, 2])
+>>> kernel = SimpleLoopKernel(np.ones(5), np.ones(5), ia)
+>>> out = doconsider(kernel, deps=ia, nproc=2)
+>>> out.x.shape
+(5,)
+
+The heavy lifting — inspection, scheduling, executor choice — follows
+the recommendation matrix of the paper's Figure 1: the default is
+**self-execution with local scheduling** ("recommended: performance
+reasonably robust, low overhead for setup").
+
+:class:`DoconsiderLoop` separates inspection from execution so the
+inspector cost can be amortised over many executions, the way PCGPAK
+amortises one topological sort over all Krylov iterations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..machine.costs import MachineCosts, MULTIMAX_320
+from ..machine.simulator import SimResult
+from .doacross import DoacrossExecutor
+from .executor import GenericLoopKernel, LoopKernel
+from .inspector import InspectionResult, Inspector
+from .prescheduled import PreScheduledExecutor
+from .self_executing import SelfExecutingExecutor
+
+__all__ = ["doconsider", "DoconsiderLoop", "DoconsiderResult"]
+
+
+@dataclass
+class DoconsiderResult:
+    """Output of one ``doconsider`` execution."""
+
+    #: The kernel's numeric result.
+    x: np.ndarray
+    #: Simulated machine timing of this execution.
+    sim: SimResult
+    #: Inspector output (schedule, wavefronts, inspection costs).
+    inspection: InspectionResult
+
+
+class DoconsiderLoop:
+    """A reorderable loop with its inspection amortised across runs.
+
+    Parameters
+    ----------
+    deps:
+        Run-time dependence information: a
+        :class:`~repro.core.dependence.DependenceGraph`, a
+        lower-triangular :class:`~repro.sparse.csr.CSRMatrix`, or an
+        indirection array (1-D for Figure 3 loops, 2-D for Figure 6
+        loops).
+    nproc:
+        Processor count of the simulated machine.
+    executor:
+        ``"self"`` (default, recommended), ``"preschedule"`` or
+        ``"doacross"``.
+    scheduler:
+        ``"local"`` (default, recommended), ``"global"`` or
+        ``"identity"``.
+    assignment:
+        Initial partition for local scheduling: ``"wrapped"`` or
+        ``"blocked"``.
+    costs:
+        Machine cost model.
+    """
+
+    def __init__(
+        self,
+        deps,
+        nproc: int,
+        *,
+        executor: str = "self",
+        scheduler: str = "local",
+        assignment: str = "wrapped",
+        balance: str = "wrapped",
+        costs: MachineCosts = MULTIMAX_320,
+    ):
+        if executor not in ("self", "preschedule", "doacross"):
+            raise ValidationError(
+                f"executor must be 'self', 'preschedule' or 'doacross', got {executor!r}"
+            )
+        self.executor_kind = executor
+        inspector = Inspector(costs)
+        strategy = "identity" if executor == "doacross" else scheduler
+        self.inspection = inspector.inspect(
+            deps, nproc, strategy=strategy, assignment=assignment, balance=balance,
+        )
+        dep = self.inspection.dep
+        schedule = self.inspection.schedule
+        if executor == "self":
+            self._exec = SelfExecutingExecutor(schedule, dep, costs)
+        elif executor == "preschedule":
+            self._exec = PreScheduledExecutor(schedule, dep, costs)
+        else:
+            self._exec = DoacrossExecutor(
+                dep, nproc, costs, wavefronts=self.inspection.wavefronts
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def schedule(self):
+        return self.inspection.schedule
+
+    @property
+    def dep(self):
+        return self.inspection.dep
+
+    def run(self, kernel: LoopKernel, *, unit_work=None) -> DoconsiderResult:
+        """Execute the kernel and report numeric result + simulated time."""
+        x = self._exec.run(kernel)
+        sim = self._exec.simulate(unit_work=unit_work)
+        return DoconsiderResult(x=x, sim=sim, inspection=self.inspection)
+
+    def run_threaded(self, kernel: LoopKernel, *, timeout: float = 30.0) -> np.ndarray:
+        """Execute the kernel on real threads (correctness validation)."""
+        return self._exec.run_threaded(kernel, timeout=timeout)
+
+    def simulate(self, *, unit_work=None) -> SimResult:
+        """Timing only, without executing a kernel."""
+        return self._exec.simulate(unit_work=unit_work)
+
+
+def doconsider(
+    kernel_or_body,
+    *,
+    deps,
+    nproc: int,
+    n: int | None = None,
+    executor: str = "self",
+    scheduler: str = "local",
+    assignment: str = "wrapped",
+    costs: MachineCosts = MULTIMAX_320,
+) -> DoconsiderResult:
+    """One-shot ``doconsider``: inspect, schedule, execute, report.
+
+    ``kernel_or_body`` is either a :class:`~repro.core.LoopKernel` or a
+    plain callable ``body(i)`` (then ``n`` must be given).
+    """
+    if isinstance(kernel_or_body, LoopKernel):
+        kernel = kernel_or_body
+    else:
+        if n is None:
+            raise ValidationError("n is required when passing a bare body callable")
+        kernel = GenericLoopKernel(n, kernel_or_body)
+    loop = DoconsiderLoop(
+        deps, nproc,
+        executor=executor, scheduler=scheduler,
+        assignment=assignment, costs=costs,
+    )
+    return loop.run(kernel)

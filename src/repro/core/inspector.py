@@ -1,0 +1,216 @@
+"""The run-time inspector: dependence analysis + scheduling, with costs.
+
+Step 4 of the paper's automated procedure: "At start of execution, the
+wavefront numbers are computed and the indices are sorted on the basis
+of these wavefronts.  The indices may or may not be repartitioned."
+
+:class:`Inspector` performs exactly that, producing a
+:class:`~repro.core.schedule.Schedule`, and additionally prices the
+inspection itself on the machine model — the paper's Table 5 compares
+these costs (sequential sort, parallelized sort, global rearrangement,
+local scheduling) against the cost of one loop execution, because the
+inspector pays off only when amortised.
+
+Inspector cost accounting
+-------------------------
+* *sequential sort* — one Figure 7 sweep: ``Σ (t_sort_base +
+  t_sort_per_dep · ndeps(i))``;
+* *parallel sort* — the same sweep striped across processors with busy
+  waits (the paper's parallelization), priced by running the machine
+  simulator on the sweep's own dependence graph;
+* *global rearrange* — sequential construction of the sorted list and
+  the wrapped dealing ("it is not clear how one would efficiently
+  parallelize global scheduling"): ``t_rearrange · n``;
+* *local sort* — each processor sorts its own indices concurrently:
+  ``max_p ( t_local_sort · |owned by p| )``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..machine.costs import MachineCosts, MULTIMAX_320
+from ..machine.simulator import simulate_self_executing
+from ..sparse.csr import CSRMatrix
+from ..util.timing import Stopwatch
+from .dependence import DependenceGraph
+from .partition import wrapped_partition, blocked_partition, owner_from_assignment
+from .schedule import Schedule, global_schedule, identity_schedule, local_schedule
+from .wavefront import compute_wavefronts
+
+__all__ = ["Inspector", "InspectionResult", "InspectorCosts"]
+
+
+@dataclass(frozen=True)
+class InspectorCosts:
+    """Simulated inspection costs (machine-model microseconds)."""
+
+    #: One sequential Figure 7 sweep.
+    seq_sort: float
+    #: The sweep striped over the processors with busy waits.
+    par_sort: float
+    #: Sequential global list construction + wrapped dealing
+    #: (zero for local scheduling, which skips it).
+    rearrange: float
+    #: Concurrent per-processor local sorting
+    #: (zero for global scheduling, which rebuilds the lists anyway).
+    local_sort: float
+
+    @property
+    def total_global(self) -> float:
+        """Cheapest global-scheduling pipeline: parallel sort + rearrange."""
+        return self.par_sort + self.rearrange
+
+    @property
+    def total_local(self) -> float:
+        """Local-scheduling pipeline: parallel sort + local sort."""
+        return self.par_sort + self.local_sort
+
+
+@dataclass
+class InspectionResult:
+    """Everything the inspector produced for one loop."""
+
+    dep: DependenceGraph
+    wavefronts: np.ndarray
+    schedule: Schedule
+    strategy: str
+    costs: InspectorCosts
+    #: Actual host seconds spent inspecting (for amortisation checks).
+    host_seconds: float
+
+    @property
+    def num_wavefronts(self) -> int:
+        return int(self.wavefronts.max()) + 1 if self.wavefronts.size else 0
+
+
+class Inspector:
+    """Builds schedules from run-time dependence information."""
+
+    def __init__(self, costs: MachineCosts = MULTIMAX_320):
+        self.machine_costs = costs
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def dependences_of(source) -> DependenceGraph:
+        """Normalise a dependence source.
+
+        Accepts a :class:`DependenceGraph`, a lower-triangular
+        :class:`CSRMatrix` (Figure 8 loops), or a 1-D indirection array
+        (Figure 3 loops).
+        """
+        if isinstance(source, DependenceGraph):
+            return source
+        if isinstance(source, CSRMatrix):
+            return DependenceGraph.from_lower_csr(source)
+        arr = np.asarray(source)
+        if arr.ndim == 1:
+            return DependenceGraph.from_indirection(arr)
+        if arr.ndim == 2:
+            return DependenceGraph.from_indirection_nested(arr)
+        raise ValidationError(
+            "dependence source must be a DependenceGraph, CSRMatrix, or "
+            "1-D/2-D indirection array"
+        )
+
+    # ------------------------------------------------------------------
+    def inspect(
+        self,
+        source,
+        nproc: int,
+        *,
+        strategy: str = "global",
+        assignment: str = "wrapped",
+        owner=None,
+        balance: str = "wrapped",
+    ) -> InspectionResult:
+        """Run the inspector.
+
+        Parameters
+        ----------
+        source:
+            Dependence information (see :meth:`dependences_of`).
+        nproc:
+            Target processor count.
+        strategy:
+            ``"global"`` — topological sort + repartition;
+            ``"local"`` — keep the initial assignment, sort locally;
+            ``"identity"`` — no reordering (doacross baseline).
+        assignment:
+            Initial owner mapping for ``local``/``identity``:
+            ``"wrapped"`` or ``"blocked"`` (ignored when ``owner`` is
+            given).
+        balance:
+            Passed to :func:`~repro.core.schedule.global_schedule`.
+        """
+        sw = Stopwatch().start()
+        dep = self.dependences_of(source)
+        wf = compute_wavefronts(dep)
+
+        if owner is not None:
+            init_owner = owner_from_assignment(owner, nproc)
+        elif assignment == "wrapped":
+            init_owner = wrapped_partition(dep.n, nproc)
+        elif assignment == "blocked":
+            init_owner = blocked_partition(dep.n, nproc)
+        else:
+            raise ValidationError(
+                f"assignment must be 'wrapped' or 'blocked', got {assignment!r}"
+            )
+
+        if strategy == "global":
+            schedule = global_schedule(wf, nproc, balance=balance)
+        elif strategy == "local":
+            schedule = local_schedule(wf, init_owner, nproc)
+        elif strategy == "identity":
+            schedule = identity_schedule(wf, nproc, owner=init_owner)
+        else:
+            raise ValidationError(
+                f"strategy must be 'global', 'local' or 'identity', got {strategy!r}"
+            )
+        sw.stop()
+
+        return InspectionResult(
+            dep=dep,
+            wavefronts=wf,
+            schedule=schedule,
+            strategy=strategy,
+            costs=self.price_inspection(dep, wf, nproc, init_owner),
+            host_seconds=sw.elapsed,
+        )
+
+    # ------------------------------------------------------------------
+    def price_inspection(
+        self,
+        dep: DependenceGraph,
+        wf: np.ndarray,
+        nproc: int,
+        init_owner: np.ndarray,
+    ) -> InspectorCosts:
+        """Price the inspection steps on the machine model (Table 5)."""
+        mc = self.machine_costs
+        nd = dep.dep_counts().astype(np.float64)
+        sort_work = mc.t_sort_base + mc.t_sort_per_dep * nd
+        seq_sort = float(sort_work.sum())
+
+        # The parallelized sweep: consecutive indices striped over the
+        # processors, busy waits on uncomputed wavefront entries — i.e.
+        # a doacross over the sweep's own dependence graph.
+        striped = identity_schedule(wf, nproc)
+        par = simulate_self_executing(
+            striped, dep, mc, mode="doacross", unit_work=sort_work,
+        )
+        par_sort = par.total_time
+
+        rearrange = float(mc.t_rearrange * dep.n)
+        owned = np.bincount(init_owner, minlength=nproc).astype(np.float64)
+        local_sort = float(mc.t_local_sort * owned.max()) if dep.n else 0.0
+        return InspectorCosts(
+            seq_sort=seq_sort,
+            par_sort=par_sort,
+            rearrange=rearrange,
+            local_sort=local_sort,
+        )

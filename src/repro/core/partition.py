@@ -1,0 +1,69 @@
+"""Index-set partitions: who owns which loop index.
+
+Two assignments from the paper:
+
+* **wrapped** (striped): index ``i`` goes to processor ``i mod p`` —
+  used for the triangular solves and numeric factorization, and as the
+  fixed initial assignment that *local* scheduling preserves
+  (Section 5.1.4 "indices were assigned to processors in a striped
+  manner");
+* **blocked** (contiguous): indices are split into ``p`` contiguous
+  runs of near-equal size — used for the trivially parallel SAXPY /
+  inner-product / matvec components (Appendix 2.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..util.validation import check_positive
+
+__all__ = [
+    "wrapped_partition",
+    "blocked_partition",
+    "owner_from_assignment",
+    "partition_counts",
+]
+
+
+def wrapped_partition(n: int, nproc: int) -> np.ndarray:
+    """Owner array for the wrapped (striped) assignment: ``i mod p``."""
+    n = int(n)
+    nproc = check_positive(nproc, "nproc")
+    if n < 0:
+        raise ValidationError("n must be non-negative")
+    return np.arange(n, dtype=np.int64) % nproc
+
+
+def blocked_partition(n: int, nproc: int) -> np.ndarray:
+    """Owner array for ``p`` contiguous blocks of near-equal size.
+
+    The first ``n mod p`` blocks get one extra index, matching the
+    "divided into p contiguous groups of roughly equal size" rule of
+    Appendix 2.1.
+    """
+    n = int(n)
+    nproc = check_positive(nproc, "nproc")
+    if n < 0:
+        raise ValidationError("n must be non-negative")
+    base, extra = divmod(n, nproc)
+    sizes = np.full(nproc, base, dtype=np.int64)
+    sizes[:extra] += 1
+    return np.repeat(np.arange(nproc, dtype=np.int64), sizes)
+
+
+def owner_from_assignment(owner, nproc: int) -> np.ndarray:
+    """Validate a user-supplied owner array."""
+    owner = np.asarray(owner, dtype=np.int64)
+    nproc = check_positive(nproc, "nproc")
+    if owner.ndim != 1:
+        raise ValidationError("owner must be one-dimensional")
+    if owner.size and (owner.min() < 0 or owner.max() >= nproc):
+        raise ValidationError(f"owner entries must lie in [0, {nproc})")
+    return owner
+
+
+def partition_counts(owner: np.ndarray, nproc: int) -> np.ndarray:
+    """Indices owned per processor."""
+    return np.bincount(owner, minlength=nproc)

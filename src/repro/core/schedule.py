@@ -1,0 +1,293 @@
+"""Execution schedules: global and local index-set scheduling.
+
+A :class:`Schedule` fixes (a) which processor owns each loop index and
+(b) the order in which each processor visits its indices.  The paper's
+two schedulers (Section 2.3):
+
+* :func:`global_schedule` — sort the whole index set by wavefront
+  (ties by index number, reproducing Figure 9's anti-diagonal list) and
+  deal the sorted list across processors in a wrapped manner
+  (Figure 10), which evenly partitions every wavefront's work;
+* :func:`local_schedule` — keep a fixed owner assignment and merely
+  reorder each processor's own indices by wavefront.  Cheaper to
+  compute and fully parallelizable, but does nothing about per-phase
+  load balance.
+
+:func:`identity_schedule` is the degenerate no-reordering schedule the
+plain ``doacross`` baseline runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ScheduleError, ValidationError
+from ..util.validation import check_positive
+from .partition import owner_from_assignment, wrapped_partition
+from .dependence import DependenceGraph
+
+__all__ = [
+    "Schedule",
+    "global_schedule",
+    "local_schedule",
+    "identity_schedule",
+    "save_schedule_npz",
+    "load_schedule_npz",
+]
+
+
+@dataclass
+class Schedule:
+    """A processor assignment plus per-processor execution orders.
+
+    Attributes
+    ----------
+    nproc:
+        Number of processors.
+    owner:
+        ``owner[i]`` is the processor that executes index ``i``.
+    local_order:
+        ``local_order[p]`` is processor ``p``'s index list, in
+        execution order.
+    wavefronts:
+        Wavefront number per index (inspector output the schedule was
+        built from).
+    strategy:
+        Human-readable provenance (``"global"``, ``"local"``,
+        ``"identity"``).
+    """
+
+    nproc: int
+    owner: np.ndarray
+    local_order: list = field(repr=False)
+    wavefronts: np.ndarray = field(repr=False)
+    strategy: str = "custom"
+
+    def __post_init__(self):
+        self.nproc = check_positive(self.nproc, "nproc")
+        if len(self.local_order) != self.nproc:
+            raise ValidationError(
+                f"local_order must have {self.nproc} lists, got {len(self.local_order)}"
+            )
+        self.owner = owner_from_assignment(self.owner, self.nproc)
+        self.local_order = [np.asarray(lst, dtype=np.int64) for lst in self.local_order]
+        self.validate()
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return self.owner.shape[0]
+
+    @property
+    def num_wavefronts(self) -> int:
+        return int(self.wavefronts.max()) + 1 if self.n else 0
+
+    def validate(self) -> None:
+        """Check the schedule is a consistent permutation of ``0..n-1``."""
+        seen = np.zeros(self.n, dtype=bool)
+        for p, lst in enumerate(self.local_order):
+            if lst.size and (lst.min() < 0 or lst.max() >= self.n):
+                raise ScheduleError(f"processor {p} schedules out-of-range indices")
+            if np.any(self.owner[lst] != p):
+                raise ScheduleError(
+                    f"processor {p}'s list contains indices it does not own"
+                )
+            if np.any(seen[lst]):
+                raise ScheduleError("an index appears on more than one processor")
+            seen[lst] = True
+        if not np.all(seen):
+            missing = int(np.count_nonzero(~seen))
+            raise ScheduleError(f"{missing} indices are scheduled on no processor")
+
+    def position(self) -> np.ndarray:
+        """``position[i]`` = rank of index ``i`` within its processor's list."""
+        pos = np.empty(self.n, dtype=np.int64)
+        for lst in self.local_order:
+            pos[lst] = np.arange(lst.shape[0])
+        return pos
+
+    def flattened(self) -> np.ndarray:
+        """All indices in (processor, position) order — the ``schedule``
+        array the transformed loops of Figures 4/5 index into."""
+        return (
+            np.concatenate(self.local_order)
+            if self.n
+            else np.empty(0, dtype=np.int64)
+        )
+
+    def phases(self) -> list[list[np.ndarray]]:
+        """``phases()[w][p]``: processor ``p``'s indices in wavefront ``w``.
+
+        This is the pre-scheduled executor's view: the end of each phase
+        is "marked by a special flag" (Figure 5's ``NEWPHASE``) and all
+        processors synchronize before the next phase begins.
+        """
+        nw = self.num_wavefronts
+        out: list[list[np.ndarray]] = [[] for _ in range(nw)]
+        for p, lst in enumerate(self.local_order):
+            wfs = self.wavefronts[lst]
+            if lst.size and np.any(np.diff(wfs) < 0):
+                raise ScheduleError(
+                    f"processor {p}'s list is not sorted by wavefront; "
+                    "a pre-scheduled execution would violate dependences"
+                )
+            bounds = np.searchsorted(wfs, np.arange(nw + 1))
+            for w in range(nw):
+                out[w].append(lst[bounds[w] : bounds[w + 1]])
+        return out
+
+    def work_per_processor(self, weights: np.ndarray | None = None) -> np.ndarray:
+        """Total (optionally weighted) indices per processor."""
+        if weights is None:
+            return np.bincount(self.owner, minlength=self.nproc).astype(np.float64)
+        return np.bincount(self.owner, weights=weights, minlength=self.nproc)
+
+    def is_legal_self_executing(self, dep: DependenceGraph) -> bool:
+        """True when self-execution cannot deadlock under this schedule.
+
+        Deadlock requires a cycle in (program-order ∪ dependence) edges;
+        equivalently, some dependence ``j`` of ``i`` scheduled *after*
+        ``i`` on the same processor, or a cross-processor cycle.  We
+        check via a full Kahn pass (exact, O(n + e)).
+        """
+        from ..machine.simulator import toposort_plan  # local import: avoid cycle
+
+        try:
+            toposort_plan(self, dep)
+        except ScheduleError:
+            return False
+        return True
+
+
+def global_schedule(
+    wf: np.ndarray,
+    nproc: int,
+    *,
+    weights: np.ndarray | None = None,
+    balance: str = "wrapped",
+) -> Schedule:
+    """Global index-set scheduling (topological sort + repartition).
+
+    Parameters
+    ----------
+    wf:
+        Wavefront numbers from the inspector.
+    nproc:
+        Processor count.
+    weights:
+        Optional per-index work estimates; only used by
+        ``balance="greedy"``.
+    balance:
+        ``"wrapped"`` — deal the wavefront-sorted list round-robin
+        (the paper's method, Figure 10); ``"greedy"`` — within each
+        wavefront assign heaviest index to the least-loaded processor
+        (an ablation; needs ``weights``).
+    """
+    wf = np.asarray(wf, dtype=np.int64)
+    nproc = check_positive(nproc, "nproc")
+    n = wf.shape[0]
+    order = np.lexsort((np.arange(n), wf))  # sort by wavefront, ties by index
+
+    owner = np.empty(n, dtype=np.int64)
+    if balance == "wrapped":
+        owner[order] = np.arange(n, dtype=np.int64) % nproc
+    elif balance == "greedy":
+        if weights is None:
+            weights = np.ones(n, dtype=np.float64)
+        load = np.zeros(nproc, dtype=np.float64)
+        nw = int(wf.max()) + 1 if n else 0
+        bounds = np.searchsorted(wf[order], np.arange(nw + 1))
+        for w in range(nw):
+            members = order[bounds[w] : bounds[w + 1]]
+            heavy_first = members[np.argsort(-weights[members], kind="stable")]
+            for i in heavy_first:
+                p = int(np.argmin(load))
+                owner[i] = p
+                load[p] += weights[i]
+    else:
+        raise ValidationError(f"unknown balance strategy {balance!r}")
+
+    local = _local_lists(owner, wf, nproc)
+    return Schedule(nproc=nproc, owner=owner, local_order=local,
+                    wavefronts=wf, strategy=f"global/{balance}")
+
+
+def local_schedule(wf: np.ndarray, owner, nproc: int) -> Schedule:
+    """Local index-set scheduling: keep ``owner``, sort locally by wavefront."""
+    wf = np.asarray(wf, dtype=np.int64)
+    owner = owner_from_assignment(owner, nproc)
+    if owner.shape[0] != wf.shape[0]:
+        raise ValidationError("owner and wavefront arrays must have equal length")
+    local = _local_lists(owner, wf, nproc)
+    return Schedule(nproc=nproc, owner=owner, local_order=local,
+                    wavefronts=wf, strategy="local")
+
+
+def identity_schedule(wf: np.ndarray, nproc: int, owner=None) -> Schedule:
+    """No reordering: each processor visits its indices in original order.
+
+    This is what a plain ``doacross`` loop does; with a wrapped owner it
+    is the baseline of Section 5.1.2.  Note the *wavefront* array is
+    still carried for reporting, but local lists are by index order.
+    """
+    wf = np.asarray(wf, dtype=np.int64)
+    n = wf.shape[0]
+    nproc = check_positive(nproc, "nproc")
+    if owner is None:
+        owner = wrapped_partition(n, nproc)
+    else:
+        owner = owner_from_assignment(owner, nproc)
+    local = [np.nonzero(owner == p)[0].astype(np.int64) for p in range(nproc)]
+    return Schedule(nproc=nproc, owner=owner, local_order=local,
+                    wavefronts=wf, strategy="identity")
+
+
+def _local_lists(owner: np.ndarray, wf: np.ndarray, nproc: int) -> list[np.ndarray]:
+    """Per-processor lists sorted by (wavefront, index)."""
+    n = owner.shape[0]
+    order = np.lexsort((np.arange(n), wf, owner))
+    bounds = np.searchsorted(owner[order], np.arange(nproc + 1))
+    return [order[bounds[p] : bounds[p + 1]] for p in range(nproc)]
+
+
+# ----------------------------------------------------------------------
+# Persistence — inspection is amortisable across *program runs* too
+# ----------------------------------------------------------------------
+
+def save_schedule_npz(path, schedule: Schedule) -> None:
+    """Persist a schedule so the inspector cost can be amortised across
+    program runs (the PARTI-style "save the communication schedule"
+    pattern the paper's line of work grew into)."""
+    flat = schedule.flattened()
+    lengths = np.asarray(
+        [lst.shape[0] for lst in schedule.local_order], dtype=np.int64
+    )
+    np.savez_compressed(
+        path,
+        nproc=np.int64(schedule.nproc),
+        owner=schedule.owner,
+        flat=flat,
+        lengths=lengths,
+        wavefronts=schedule.wavefronts,
+        strategy=np.bytes_(schedule.strategy.encode()),
+    )
+
+
+def load_schedule_npz(path) -> Schedule:
+    """Load a schedule saved by :func:`save_schedule_npz` (re-validated)."""
+    with np.load(path) as z:
+        nproc = int(z["nproc"])
+        lengths = z["lengths"]
+        flat = z["flat"]
+        bounds = np.zeros(nproc + 1, dtype=np.int64)
+        np.cumsum(lengths, out=bounds[1:])
+        local = [flat[bounds[p] : bounds[p + 1]] for p in range(nproc)]
+        return Schedule(
+            nproc=nproc,
+            owner=z["owner"],
+            local_order=local,
+            wavefronts=z["wavefronts"],
+            strategy=bytes(z["strategy"]).decode(),
+        )

@@ -1,0 +1,62 @@
+"""Exception hierarchy for :mod:`repro`.
+
+Every error raised by the library derives from :class:`ReproError` so
+applications can catch library failures with a single ``except`` clause
+while still being able to discriminate the finer-grained categories.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (shape, dtype, range, ...)."""
+
+
+class StructureError(ReproError, ValueError):
+    """A sparse-matrix or graph structure is malformed or inconsistent.
+
+    Raised, for example, when a CSR ``indptr`` is not monotone, when a
+    column index is out of range, or when a matrix expected to be lower
+    triangular has entries above the diagonal.
+    """
+
+
+class ScheduleError(ReproError, RuntimeError):
+    """A schedule is illegal for the executor it was handed to.
+
+    A schedule is *legal* for the self-executing executor when the
+    combined graph of program-order edges (consecutive entries of each
+    processor's local list) and dependence edges is acyclic; otherwise
+    the busy-waits of Figure 4 of the paper would deadlock.  The
+    pre-scheduled executor additionally requires every dependence to
+    cross a phase boundary.
+    """
+
+
+class DeadlockError(ScheduleError):
+    """Self-execution deadlocked: a cycle of busy-waits was detected."""
+
+
+class TransformError(ReproError, ValueError):
+    """The source-to-source transformer could not handle a loop.
+
+    The automated system of Section 2.2 of the paper supports a
+    restricted loop grammar (see :mod:`repro.core.transform`); loops
+    outside that grammar raise this error rather than being silently
+    mis-compiled.
+    """
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative solver failed to reach the requested tolerance."""
+
+    def __init__(self, message: str, *, iterations: int, residual: float):
+        super().__init__(message)
+        #: Number of iterations performed before giving up.
+        self.iterations = int(iterations)
+        #: Final relative residual norm.
+        self.residual = float(residual)

@@ -1,0 +1,152 @@
+"""Ablation studies (ours, motivated by the paper's design discussion).
+
+The paper's conclusions hinge on machine cost ratios — barrier cost vs
+point work (equation 6), shared check/increment cost (equation 7) — and
+on design choices inside the scheduler.  These ablations quantify each:
+
+* :func:`run_barrier_sweep` — how the pre-scheduled/self-executing
+  crossover moves as the barrier cost scales (cheap barriers rescue
+  pre-scheduling on square domains, exactly equation (7)'s regime);
+* :func:`run_shared_cost_sweep` — how expensive shared-array traffic
+  erodes self-execution's advantage;
+* :func:`run_balance_ablation` — wrapped dealing vs greedy weighted
+  balancing inside each wavefront (the paper hand-waves "evenly
+  partitions the work"; this measures what that buys).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..core.dependence import DependenceGraph
+from ..core.schedule import global_schedule
+from ..core.wavefront import compute_wavefronts
+from ..machine.simulator import simulate
+from ..util.tables import TextTable
+from ..workload.generator import generate_workload
+from .runner import ExperimentContext
+
+__all__ = [
+    "run_barrier_sweep",
+    "run_shared_cost_sweep",
+    "run_balance_ablation",
+    "AblationPoint",
+]
+
+
+@dataclass
+class AblationPoint:
+    """One configuration's timing pair."""
+
+    knob: float
+    presched_time: float
+    self_time: float
+
+    @property
+    def ratio(self) -> float:
+        """Pre-scheduled / self-executing; > 1 means self-execution wins."""
+        return self.presched_time / self.self_time
+
+
+def _mesh_case(ctx: ExperimentContext, mesh: int):
+    wl = generate_workload(f"{mesh}mesh")
+    dep = DependenceGraph.from_lower_csr(wl.matrix)
+    wf = compute_wavefronts(dep)
+    sched = global_schedule(wf, ctx.nproc)
+    return dep, sched
+
+
+def run_barrier_sweep(
+    ctx: ExperimentContext | None = None,
+    *,
+    mesh: int = 65,
+    factors=(0.0, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0),
+) -> tuple[list[AblationPoint], TextTable]:
+    """Scale the barrier cost; watch the executor crossover."""
+    ctx = ctx or ExperimentContext()
+    dep, sched = _mesh_case(ctx, mesh)
+    points = []
+    for f in factors:
+        costs = replace(
+            ctx.costs,
+            t_sync_base=ctx.costs.t_sync_base * f,
+            t_sync_per_proc=ctx.costs.t_sync_per_proc * f,
+        )
+        pre = simulate(sched, dep, costs, mode="preschedule").total_time
+        slf = simulate(sched, dep, costs, mode="self").total_time
+        points.append(AblationPoint(knob=f, presched_time=pre / 1e3, self_time=slf / 1e3))
+    table = TextTable(
+        headers=["Barrier scale", "Presched (ms)", "Self (ms)", "PS/SE ratio"],
+        formats=[".2f", ".1f", ".1f", ".2f"],
+        title=f"Ablation: barrier-cost sweep on {mesh}x{mesh} mesh, "
+              f"{ctx.nproc} processors",
+    )
+    for pt in points:
+        table.add_row(pt.knob, pt.presched_time, pt.self_time, pt.ratio)
+    return points, table
+
+
+def run_shared_cost_sweep(
+    ctx: ExperimentContext | None = None,
+    *,
+    mesh: int = 65,
+    factors=(0.0, 0.5, 1.0, 2.0, 4.0, 8.0),
+) -> tuple[list[AblationPoint], TextTable]:
+    """Scale the shared check/increment costs; equation (7)'s knob."""
+    ctx = ctx or ExperimentContext()
+    dep, sched = _mesh_case(ctx, mesh)
+    points = []
+    for f in factors:
+        costs = replace(
+            ctx.costs,
+            t_check=ctx.costs.t_check * f,
+            t_inc=ctx.costs.t_inc * f,
+        )
+        pre = simulate(sched, dep, costs, mode="preschedule").total_time
+        slf = simulate(sched, dep, costs, mode="self").total_time
+        points.append(AblationPoint(knob=f, presched_time=pre / 1e3, self_time=slf / 1e3))
+    table = TextTable(
+        headers=["Shared-cost scale", "Presched (ms)", "Self (ms)", "PS/SE ratio"],
+        formats=[".2f", ".1f", ".1f", ".2f"],
+        title=f"Ablation: shared check/increment cost sweep on {mesh}x{mesh} "
+              f"mesh, {ctx.nproc} processors",
+    )
+    for pt in points:
+        table.add_row(pt.knob, pt.presched_time, pt.self_time, pt.ratio)
+    return points, table
+
+
+def run_balance_ablation(
+    ctx: ExperimentContext | None = None,
+    *,
+    workloads=("65-4-1.5", "65-4-3"),
+) -> tuple[list[dict], TextTable]:
+    """Wrapped dealing vs greedy weighted balance within wavefronts."""
+    ctx = ctx or ExperimentContext()
+    rows = []
+    for name in workloads:
+        wl = generate_workload(name)
+        dep = DependenceGraph.from_lower_csr(wl.matrix)
+        wf = compute_wavefronts(dep)
+        weights = ctx.costs.base_work(dep.dep_counts())
+        out = {"workload": name}
+        for balance in ("wrapped", "greedy"):
+            sched = global_schedule(wf, ctx.nproc, weights=weights, balance=balance)
+            for mode in ("preschedule", "self"):
+                t = simulate(sched, dep, ctx.costs, mode=mode).total_time / 1e3
+                out[f"{balance}_{mode}"] = t
+        rows.append(out)
+    table = TextTable(
+        headers=["Workload", "Wrap PS", "Wrap SE", "Greedy PS", "Greedy SE"],
+        formats=[None, ".1f", ".1f", ".1f", ".1f"],
+        title="Ablation: wavefront balancing strategy (model ms, "
+              f"{ctx.nproc} processors)",
+    )
+    for r in rows:
+        table.add_row(
+            r["workload"], r["wrapped_preschedule"], r["wrapped_self"],
+            r["greedy_preschedule"], r["greedy_self"],
+        )
+    return rows, table

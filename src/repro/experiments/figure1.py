@@ -1,0 +1,106 @@
+"""Figure 1 — the 2×2 summary of scheduling × synchronization.
+
+The paper condenses its findings into a quadrant: sort strategy (local
+vs global) against executor (pre-scheduled vs self-executing).  We
+regenerate the quadrant *from measurements*: a representative problem
+is run in all four configurations across several processor counts, and
+each quadrant is annotated with its worst-case and mean efficiency —
+showing pre-scheduled/local degrading catastrophically, pre-scheduled/
+global robust but concurrency-limited, and both self-executing cells
+healthy with local/self recommended on overhead grounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.dependence import DependenceGraph
+from ..core.inspector import Inspector
+from ..machine.simulator import simulate
+from ..util.tables import TextTable
+from ..workload.generator import generate_workload
+from .runner import ExperimentContext
+
+__all__ = ["run_figure1", "QuadrantSummary", "render_quadrant"]
+
+
+@dataclass
+class QuadrantSummary:
+    """Measured efficiency statistics for one (sort, executor) cell."""
+
+    scheduler: str
+    executor: str
+    min_efficiency: float
+    mean_efficiency: float
+    #: Total inspection cost of this cell's scheduling pipeline (model ms).
+    setup_cost: float
+
+
+def run_figure1(
+    ctx: ExperimentContext | None = None,
+    *,
+    mesh: int = 65,
+    nprocs=(4, 8, 12, 16),
+) -> tuple[dict, TextTable]:
+    """Measure all four quadrants; returns ({(sched, exec): summary}, table)."""
+    ctx = ctx or ExperimentContext()
+    wl = generate_workload(f"{mesh}mesh")
+    dep = DependenceGraph.from_lower_csr(wl.matrix)
+    inspector = Inspector(ctx.costs)
+
+    cells: dict[tuple[str, str], QuadrantSummary] = {}
+    for scheduler in ("local", "global"):
+        for executor in ("preschedule", "self"):
+            effs = []
+            setup = 0.0
+            for p in nprocs:
+                res = inspector.inspect(dep, p, strategy=scheduler)
+                sim = simulate(res.schedule, dep, ctx.costs, mode=executor)
+                effs.append(sim.efficiency)
+                setup = (
+                    res.costs.total_global
+                    if scheduler == "global"
+                    else res.costs.total_local
+                ) / 1000.0
+            cells[(scheduler, executor)] = QuadrantSummary(
+                scheduler=scheduler,
+                executor=executor,
+                min_efficiency=float(np.min(effs)),
+                mean_efficiency=float(np.mean(effs)),
+                setup_cost=setup,
+            )
+
+    table = TextTable(
+        headers=["Sort", "Executor", "Min eff", "Mean eff", "Setup (ms)"],
+        formats=[None, None, ".3f", ".3f", ".1f"],
+        title="Figure 1: Performance of scheduling and sorting strategies "
+              f"(measured, {mesh}x{mesh} mesh, P in {list(nprocs)})",
+    )
+    for (scheduler, executor), s in sorted(cells.items()):
+        table.add_row(scheduler, executor, s.min_efficiency,
+                      s.mean_efficiency, s.setup_cost)
+    return cells, table
+
+
+def render_quadrant(cells: dict) -> str:
+    """ASCII rendition of the paper's Figure 1 quadrant, annotated with
+    the measured numbers."""
+
+    def cell(scheduler, executor):
+        s = cells[(scheduler, executor)]
+        return f"min {s.min_efficiency:.2f} / mean {s.mean_efficiency:.2f}"
+
+    return "\n".join([
+        "                Pre-Scheduled              Self-Executing",
+        "            +---------------------------+---------------------------+",
+        f"  Local     | {cell('local','preschedule'):<25} | {cell('local','self'):<25} |",
+        "  sort      | can degrade               | RECOMMENDED: robust,      |",
+        "            | catastrophically          | low setup overhead        |",
+        "            +---------------------------+---------------------------+",
+        f"  Global    | {cell('global','preschedule'):<25} | {cell('global','self'):<25} |",
+        "  sort      | robust but pre-scheduling | most robust alternative,  |",
+        "            | limits concurrency        | relatively high setup     |",
+        "            +---------------------------+---------------------------+",
+    ])

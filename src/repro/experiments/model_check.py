@@ -1,0 +1,91 @@
+"""Section 4.2 model validation — analytic closed forms vs simulation.
+
+For a family of m×n model problems the analytical efficiencies
+(equations (3)–(5)) are compared against zero-overhead machine
+simulations of the same schedules, and the time-ratio expression
+(equation (6)) against full-cost simulations.  The paper asserts these
+assumptions "can be used to predict multiprocessor timings rather
+accurately" (Section 4.2); this experiment quantifies that claim for
+our machine — agreement is exact for the efficiency formulas and tight
+for the ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.model import ModelProblem
+from ..core.schedule import global_schedule
+from ..machine.simulator import simulate
+from ..util.tables import TextTable
+from .runner import ExperimentContext
+
+__all__ = ["run_model_check", "ModelCheckRow"]
+
+
+@dataclass
+class ModelCheckRow:
+    """Analytic vs simulated quantities for one (m, n, p)."""
+
+    m: int
+    n: int
+    p: int
+    eopt_presched_analytic: float
+    eopt_presched_sim: float
+    eopt_self_analytic: float
+    eopt_self_sim: float
+    ratio_analytic: float
+    ratio_sim: float
+
+    @property
+    def max_error(self) -> float:
+        return max(
+            abs(self.eopt_presched_analytic - self.eopt_presched_sim),
+            abs(self.eopt_self_analytic - self.eopt_self_sim),
+        )
+
+
+def run_model_check(
+    ctx: ExperimentContext | None = None,
+    cases=((32, 32, 8), (64, 64, 16), (96, 17, 16), (128, 17, 16), (64, 32, 8)),
+) -> tuple[list[ModelCheckRow], TextTable]:
+    """Validate the analytical model on several (m, n, p) cases."""
+    ctx = ctx or ExperimentContext()
+    zero = ctx.costs.with_overheads_zeroed()
+    rows: list[ModelCheckRow] = []
+    for m, n, p in cases:
+        mp = ModelProblem(m, n, ctx.costs)
+        dep = mp.dependence_graph()
+        wf = mp.wavefronts()
+        sched = global_schedule(wf, p)
+        uw = mp.uniform_work()
+        sim_pre0 = simulate(sched, dep, zero, mode="preschedule", unit_work=uw)
+        sim_self0 = simulate(sched, dep, zero, mode="self", unit_work=uw)
+        sim_pre = simulate(sched, dep, ctx.costs, mode="preschedule", unit_work=uw)
+        sim_self = simulate(sched, dep, ctx.costs, mode="self", unit_work=uw)
+        rows.append(
+            ModelCheckRow(
+                m=m, n=n, p=p,
+                eopt_presched_analytic=mp.eopt_prescheduled(p),
+                eopt_presched_sim=sim_pre0.efficiency,
+                eopt_self_analytic=mp.eopt_self(p),
+                eopt_self_sim=sim_self0.efficiency,
+                ratio_analytic=mp.ratio(p),
+                ratio_sim=sim_pre.total_time / sim_self.total_time,
+            )
+        )
+
+    table = TextTable(
+        headers=["m", "n", "p", "E_ps model", "E_ps sim", "E_se model",
+                 "E_se sim", "ratio model", "ratio sim"],
+        formats=["d", "d", "d", ".4f", ".4f", ".4f", ".4f", ".2f", ".2f"],
+        title="Section 4.2 model validation: analytic vs simulated",
+    )
+    for r in rows:
+        table.add_row(
+            r.m, r.n, r.p,
+            r.eopt_presched_analytic, r.eopt_presched_sim,
+            r.eopt_self_analytic, r.eopt_self_sim,
+            r.ratio_analytic, r.ratio_sim,
+        )
+    return rows, table

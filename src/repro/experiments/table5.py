@@ -1,0 +1,99 @@
+"""Table 5 — local vs global index-set scheduling.
+
+For the synthetic workloads (and a few matrix problems) under
+self-execution only (the paper restricts this section to the
+self-executing loop structures): sequential iteration time, sequential
+and parallelized sort times, global rearrangement time, local
+scheduling time, and the simulated run times under both schedules.
+
+Expected shape (paper, Section 5.1.5): local scheduling overhead is
+much smaller than global scheduling overhead, while run times trade
+places problem by problem — neither schedule dominates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.dependence import DependenceGraph
+from ..core.inspector import Inspector
+from ..machine.simulator import sequential_time, simulate
+from ..util.tables import TextTable
+from ..workload.generator import generate_workload
+from .runner import ExperimentContext
+
+__all__ = ["run_table5", "Table5Row", "TABLE5_WORKLOADS"]
+
+#: The synthetic workloads the paper's Table 5 lists.
+TABLE5_WORKLOADS = ("65-4-1.5", "65-4-3", "65mesh")
+
+
+@dataclass
+class Table5Row:
+    """One workload's scheduling comparison (model ms)."""
+
+    workload: str
+    n: int
+    seq_time: float
+    seq_sort: float
+    par_sort: float
+    rearrange: float
+    local_sched: float
+    global_run: float
+    local_run: float
+
+    @property
+    def global_overhead(self) -> float:
+        """Total inspection cost of the global pipeline."""
+        return self.par_sort + self.rearrange
+
+    @property
+    def local_overhead(self) -> float:
+        return self.par_sort + self.local_sched
+
+
+def run_table5(
+    ctx: ExperimentContext | None = None,
+    workloads=TABLE5_WORKLOADS,
+) -> tuple[list[Table5Row], TextTable]:
+    """Run the scheduling-overhead comparison; self-executing loops only."""
+    ctx = ctx or ExperimentContext()
+    inspector = Inspector(ctx.costs)
+    rows: list[Table5Row] = []
+    for name in workloads:
+        wl = generate_workload(name)
+        dep = DependenceGraph.from_lower_csr(wl.matrix)
+        res_g = inspector.inspect(dep, ctx.nproc, strategy="global")
+        res_l = inspector.inspect(dep, ctx.nproc, strategy="local")
+        sim_g = simulate(res_g.schedule, dep, ctx.costs, mode="self")
+        sim_l = simulate(res_l.schedule, dep, ctx.costs, mode="self")
+        to_ms = 1e-3
+        rows.append(
+            Table5Row(
+                workload=name,
+                n=dep.n,
+                seq_time=sequential_time(dep, ctx.costs) * to_ms,
+                seq_sort=res_g.costs.seq_sort * to_ms,
+                par_sort=res_g.costs.par_sort * to_ms,
+                rearrange=res_g.costs.rearrange * to_ms,
+                local_sched=res_l.costs.local_sort * to_ms,
+                global_run=sim_g.total_time * to_ms,
+                local_run=sim_l.total_time * to_ms,
+            )
+        )
+
+    table = TextTable(
+        headers=["Workload", "n", "Seq time", "Seq sort", "Par sort",
+                 "Rearrange", "Local sched", "Global run", "Local run"],
+        formats=[None, "d", ".1f", ".1f", ".1f", ".1f", ".1f", ".1f", ".1f"],
+        title=(
+            "Table 5: Local vs Global index-set scheduling, "
+            f"self-executing loops, {ctx.nproc} processors (model ms)"
+        ),
+    )
+    for r in rows:
+        table.add_row(
+            r.workload, r.n, r.seq_time, r.seq_sort, r.par_sort,
+            r.rearrange, r.local_sched, r.global_run, r.local_run,
+        )
+    return rows, table

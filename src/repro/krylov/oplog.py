@@ -1,0 +1,61 @@
+"""Operation logging for parallel cost accounting.
+
+The numeric Krylov solvers record every constituent operation here;
+:mod:`repro.krylov.parallel` then prices the recorded sequence on the
+machine model.  Keeping the *numeric* solve and the *cost* model
+decoupled this way means iteration counts (and hence operation tallies)
+are always exact, never estimated from formulas.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+__all__ = ["OperationLog"]
+
+
+@dataclass
+class OperationLog:
+    """Counts of the primitive operations of a Krylov solve."""
+
+    #: op name -> number of occurrences
+    counts: Counter = field(default_factory=Counter)
+    #: op name -> total elements processed (n or nnz summed over calls)
+    volume: Counter = field(default_factory=Counter)
+
+    def record(self, op: str, size: int = 0) -> None:
+        self.counts[op] += 1
+        self.volume[op] += int(size)
+
+    # Convenience wrappers used by the solvers -------------------------
+    def matvec(self, nnz: int) -> None:
+        self.record("matvec", nnz)
+
+    def saxpy(self, n: int) -> None:
+        self.record("saxpy", n)
+
+    def dot(self, n: int) -> None:
+        self.record("dot", n)
+
+    def scale(self, n: int) -> None:
+        self.record("scale", n)
+
+    def lower_solve(self, nnz: int) -> None:
+        self.record("lower_solve", nnz)
+
+    def upper_solve(self, nnz: int) -> None:
+        self.record("upper_solve", nnz)
+
+    def merge(self, other: "OperationLog") -> None:
+        self.counts.update(other.counts)
+        self.volume.update(other.volume)
+
+    def __getitem__(self, op: str) -> int:
+        return self.counts[op]
+
+    def summary(self) -> dict:
+        return {
+            op: {"calls": self.counts[op], "volume": self.volume[op]}
+            for op in sorted(self.counts)
+        }

@@ -1,0 +1,111 @@
+"""PCGPAK-style solver driver.
+
+"The computation in PCGPAK is carried out by (1) performing a symbolic
+incomplete factorization ..., (2) numeric calculation of the incomplete
+factorization ... and (3) matrix vector multiplies, SAXPYs, vector
+inner products and sparse triangular solves" (Appendix 1.1).
+:func:`solve` packages those stages behind one call and returns a
+:class:`SolveResult` carrying everything the parallel cost model and
+the experiment harness need: the solution, convergence history, and
+the full operation log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConvergenceError, ValidationError
+from ..sparse.csr import CSRMatrix
+from ..util.timing import Stopwatch
+from .gmres import gmres
+from .ilu import make_preconditioner
+from .oplog import OperationLog
+from .pcg import pcg
+
+__all__ = ["solve", "SolveResult"]
+
+
+@dataclass
+class SolveResult:
+    """Everything produced by one PCGPAK-style solve."""
+
+    x: np.ndarray
+    iterations: int
+    residuals: list[float]
+    converged: bool
+    method: str
+    precond_kind: str
+    log: OperationLog = field(repr=False)
+    #: Host seconds: (symbolic+numeric) factorization and iteration loop.
+    setup_seconds: float = 0.0
+    solve_seconds: float = 0.0
+
+    @property
+    def final_residual(self) -> float:
+        return self.residuals[-1] if self.residuals else float("nan")
+
+
+def solve(
+    a: CSRMatrix,
+    b: np.ndarray,
+    *,
+    method: str = "pcg",
+    precond: str | None = "ilu0",
+    tol: float = 1e-8,
+    maxiter: int = 1000,
+    restart: int = 30,
+    x0: np.ndarray | None = None,
+    raise_on_fail: bool = False,
+    callback=None,
+) -> SolveResult:
+    """Solve ``A x = b`` with a preconditioned Krylov method.
+
+    Parameters
+    ----------
+    method:
+        ``"pcg"`` (SPD systems) or ``"gmres"``.
+    precond:
+        ``"ilu0"``, ``"ilu1"``, ..., ``"jacobi"``, ``"none"``/``None``.
+    raise_on_fail:
+        Raise :class:`~repro.errors.ConvergenceError` instead of
+        returning an unconverged result.
+    """
+    log = OperationLog()
+    sw_setup = Stopwatch()
+    with sw_setup:
+        m = make_preconditioner(a, precond)
+    pre = None if m.name == "none" else m
+
+    sw_solve = Stopwatch()
+    with sw_solve:
+        if method == "pcg":
+            x, iters, hist, ok = pcg(
+                a, b, pre, x0=x0, tol=tol, maxiter=maxiter, log=log,
+                callback=callback,
+            )
+        elif method == "gmres":
+            x, iters, hist, ok = gmres(
+                a, b, pre, x0=x0, tol=tol, maxiter=maxiter, restart=restart,
+                log=log, callback=callback,
+            )
+        else:
+            raise ValidationError(f"method must be 'pcg' or 'gmres', got {method!r}")
+
+    if raise_on_fail and not ok:
+        raise ConvergenceError(
+            f"{method} failed to reach tol={tol} in {iters} iterations",
+            iterations=iters, residual=hist[-1] if hist else float("nan"),
+        )
+    return SolveResult(
+        x=x,
+        iterations=iters,
+        residuals=hist,
+        converged=ok,
+        method=method,
+        precond_kind=m.name if precond else "none",
+        log=log,
+        setup_seconds=sw_setup.elapsed,
+        solve_seconds=sw_solve.elapsed,
+    )

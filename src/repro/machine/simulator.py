@@ -1,0 +1,362 @@
+"""Deterministic discrete-event simulation of the executors.
+
+The simulator computes *when* every loop iteration would complete on a
+``p``-processor shared-memory machine, given a schedule, the dependence
+graph and a cost model.  It is a longest-path evaluation over the
+combined DAG of
+
+* **program-order edges** — consecutive entries of each processor's
+  local list, and
+* **dependence edges** — the loop's data dependences,
+
+with executor-specific release rules:
+
+* *pre-scheduled* (Figure 5): processors synchronize at a global
+  barrier between consecutive wavefront phases; a phase costs the
+  maximum per-processor work in it plus one barrier;
+* *self-executing* (Figure 4): an iteration busy-waits until each of
+  its operands' ``ready`` flags is set — it starts at the maximum of
+  its processor's availability and its operands' completion times;
+* *doacross*: self-execution over the identity schedule, minus the
+  reordered-index-array access cost.
+
+Because the evaluation is exact and deterministic, simulated timings
+are exactly reproducible — a property the test-suite leans on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..errors import DeadlockError, ScheduleError, ValidationError
+from .costs import MachineCosts
+
+if TYPE_CHECKING:  # imported for annotations only — avoids a cycle with
+    # repro.core, whose executors import this module at load time.
+    from ..core.dependence import DependenceGraph
+    from ..core.schedule import Schedule
+
+__all__ = [
+    "SimResult",
+    "work_vector",
+    "sequential_time",
+    "simulate",
+    "simulate_prescheduled",
+    "simulate_self_executing",
+    "toposort_plan",
+]
+
+_MODES = ("preschedule", "self", "doacross")
+
+
+@dataclass
+class SimResult:
+    """Outcome of one simulated execution.
+
+    Times are in the cost model's units (microseconds by default).
+    """
+
+    mode: str
+    nproc: int
+    total_time: float
+    seq_time: float
+    busy: np.ndarray = field(repr=False)
+    idle: np.ndarray = field(repr=False)
+    sync_time: float = 0.0
+    check_time: float = 0.0
+    inc_time: float = 0.0
+    sched_time: float = 0.0
+    num_phases: int = 0
+    finish: np.ndarray | None = field(default=None, repr=False)
+
+    @property
+    def efficiency(self) -> float:
+        """``T_seq / (p * T_par)`` — the paper's parallel efficiency."""
+        if self.total_time <= 0:
+            return 1.0
+        return self.seq_time / (self.nproc * self.total_time)
+
+    @property
+    def speedup(self) -> float:
+        if self.total_time <= 0:
+            return float(self.nproc)
+        return self.seq_time / self.total_time
+
+    @property
+    def total_idle(self) -> float:
+        return float(self.idle.sum())
+
+    @property
+    def total_busy(self) -> float:
+        return float(self.busy.sum())
+
+
+# ----------------------------------------------------------------------
+# Work vectors
+# ----------------------------------------------------------------------
+
+def work_vector(
+    dep: DependenceGraph,
+    costs: MachineCosts,
+    mode: str,
+    nproc: int,
+    unit_work: np.ndarray | None = None,
+) -> np.ndarray:
+    """Per-index execution cost under ``mode``, including overheads.
+
+    ``unit_work`` overrides the computational part (default:
+    ``costs.base_work`` of the dependence counts, which matches the
+    triangular-solve kernel where work is proportional to the row's
+    off-diagonal count).
+    """
+    if mode not in _MODES:
+        raise ValidationError(f"mode must be one of {_MODES}, got {mode!r}")
+    nd = dep.dep_counts().astype(np.float64)
+    base = costs.base_work(nd) if unit_work is None else np.asarray(unit_work, dtype=np.float64)
+    if base.shape[0] != dep.n:
+        raise ValidationError(f"unit_work must have length n={dep.n}")
+    shared = costs.shared_factor(nproc)
+    if mode == "preschedule":
+        return base + shared * costs.t_sched_access
+    if mode == "self":
+        return base + shared * (costs.t_sched_access + costs.t_inc + costs.t_check * nd)
+    # doacross: no reordered-index array to fetch from
+    return base + shared * (costs.t_inc + costs.t_check * nd)
+
+
+def sequential_time(
+    dep: DependenceGraph,
+    costs: MachineCosts,
+    unit_work: np.ndarray | None = None,
+) -> float:
+    """Time of the optimized sequential program (no parallel extras)."""
+    base = (
+        costs.base_work(dep.dep_counts())
+        if unit_work is None
+        else np.asarray(unit_work, dtype=np.float64)
+    )
+    return float(base.sum())
+
+
+# ----------------------------------------------------------------------
+# Pre-scheduled executor
+# ----------------------------------------------------------------------
+
+def simulate_prescheduled(
+    schedule: Schedule,
+    dep: DependenceGraph,
+    costs: MachineCosts = MachineCosts(),
+    *,
+    unit_work: np.ndarray | None = None,
+    validate: bool = True,
+) -> SimResult:
+    """Simulate Figure 5: barrier-separated wavefront phases."""
+    n, p = schedule.n, schedule.nproc
+    if dep.n != n:
+        raise ValidationError("schedule and dependence graph sizes differ")
+    wf = schedule.wavefronts
+    if validate:
+        _validate_phase_safety(schedule, dep)
+    w = work_vector(dep, costs, "preschedule", p, unit_work)
+    nw = schedule.num_wavefronts
+
+    # Per (phase, processor) work totals.
+    m = np.zeros((nw, p), dtype=np.float64)
+    np.add.at(m, (wf, schedule.owner), w)
+    phase_max = m.max(axis=1) if nw else np.zeros(0)
+    sync = costs.sync_cost(p)
+    total = float(phase_max.sum() + nw * sync)
+    busy = m.sum(axis=0)
+    idle = (phase_max[:, None] - m).sum(axis=0)
+
+    sched_overhead = costs.shared_factor(p) * costs.t_sched_access * n
+    return SimResult(
+        mode="preschedule",
+        nproc=p,
+        total_time=total,
+        seq_time=sequential_time(dep, costs, unit_work),
+        busy=busy,
+        idle=idle,
+        sync_time=float(nw * sync),
+        sched_time=float(sched_overhead),
+        num_phases=nw,
+    )
+
+
+def _validate_phase_safety(schedule: Schedule, dep: DependenceGraph) -> None:
+    """Every local list sorted by wavefront; every dependence crosses phases."""
+    wf = schedule.wavefronts
+    for pnum, lst in enumerate(schedule.local_order):
+        if lst.size > 1 and np.any(np.diff(wf[lst]) < 0):
+            raise ScheduleError(
+                f"processor {pnum}'s list is not sorted by wavefront; "
+                "pre-scheduled execution would violate dependences"
+            )
+    if dep.num_edges:
+        rows = np.repeat(np.arange(dep.n, dtype=np.int64), dep.dep_counts())
+        if np.any(wf[dep.indices] >= wf[rows]):
+            raise ScheduleError(
+                "a dependence does not cross a phase boundary; the wavefront "
+                "array is inconsistent with the dependence graph"
+            )
+
+
+# ----------------------------------------------------------------------
+# Self-executing / doacross executors
+# ----------------------------------------------------------------------
+
+def toposort_plan(schedule: Schedule, dep: DependenceGraph) -> np.ndarray:
+    """Topological order of the combined (program-order ∪ dependence) DAG.
+
+    Raises :class:`DeadlockError` when the combination is cyclic —
+    i.e. the busy-waits of a self-executing run would never release.
+    """
+    n = schedule.n
+    prev = np.full(n, -1, dtype=np.int64)
+    nxt = np.full(n, -1, dtype=np.int64)
+    for lst in schedule.local_order:
+        if lst.size > 1:
+            prev[lst[1:]] = lst[:-1]
+            nxt[lst[:-1]] = lst[1:]
+    indeg = dep.dep_counts().astype(np.int64)
+    indeg += prev >= 0
+    succ_indptr, succ_indices = dep.successors()
+    stack = [int(i) for i in np.nonzero(indeg == 0)[0]]
+    order = np.empty(n, dtype=np.int64)
+    k = 0
+    while stack:
+        j = stack.pop()
+        order[k] = j
+        k += 1
+        nj = nxt[j]
+        if nj >= 0:
+            indeg[nj] -= 1
+            if indeg[nj] == 0:
+                stack.append(int(nj))
+        for i in succ_indices[succ_indptr[j] : succ_indptr[j + 1]]:
+            indeg[i] -= 1
+            if indeg[i] == 0:
+                stack.append(int(i))
+    if k != n:
+        raise DeadlockError(
+            "self-execution would deadlock: cycle in program-order + "
+            "dependence edges (an iteration waits on one scheduled after "
+            "it on the same processor)"
+        )
+    return order
+
+
+def _fast_order(schedule: Schedule, dep: DependenceGraph) -> np.ndarray | None:
+    """Cheap valid processing orders for the two common schedule shapes."""
+    wf = schedule.wavefronts
+    n = schedule.n
+    sorted_by_wf = all(
+        lst.size < 2 or not np.any(np.diff(wf[lst]) < 0)
+        for lst in schedule.local_order
+    )
+    if sorted_by_wf and dep.num_edges:
+        rows = np.repeat(np.arange(n, dtype=np.int64), dep.dep_counts())
+        if np.any(wf[dep.indices] >= wf[rows]):
+            sorted_by_wf = False
+    if sorted_by_wf:
+        pos = schedule.position()
+        return np.lexsort((pos, schedule.owner, wf))
+    increasing_lists = all(
+        lst.size < 2 or bool(np.all(np.diff(lst) > 0))
+        for lst in schedule.local_order
+    )
+    if increasing_lists and dep.all_backward():
+        return np.arange(n, dtype=np.int64)
+    return None
+
+
+def simulate_self_executing(
+    schedule: Schedule,
+    dep: DependenceGraph,
+    costs: MachineCosts = MachineCosts(),
+    *,
+    mode: str = "self",
+    unit_work: np.ndarray | None = None,
+    keep_finish_times: bool = False,
+) -> SimResult:
+    """Simulate Figure 4 (``mode="self"``) or a plain doacross loop.
+
+    The two differ only in the per-iteration overhead vector; pass the
+    identity schedule for a faithful doacross baseline.
+    """
+    if mode not in ("self", "doacross"):
+        raise ValidationError(f"mode must be 'self' or 'doacross', got {mode!r}")
+    n, p = schedule.n, schedule.nproc
+    if dep.n != n:
+        raise ValidationError("schedule and dependence graph sizes differ")
+    w = work_vector(dep, costs, mode, p, unit_work)
+
+    order = _fast_order(schedule, dep)
+    if order is None:
+        order = toposort_plan(schedule, dep)
+
+    finish = np.zeros(n, dtype=np.float64)
+    proc_avail = np.zeros(p, dtype=np.float64)
+    busy = np.zeros(p, dtype=np.float64)
+    idle = np.zeros(p, dtype=np.float64)
+    owner = schedule.owner
+    indptr, indices = dep.indptr, dep.indices
+    t_poll = costs.t_poll
+
+    for i in order:
+        pi = owner[i]
+        t0 = proc_avail[pi]
+        lo, hi = indptr[i], indptr[i + 1]
+        start = t0
+        if hi > lo:
+            r = finish[indices[lo:hi]].max()
+            if r > t0:
+                wait = r - t0
+                if t_poll > 0.0:
+                    wait = math.ceil(wait / t_poll) * t_poll
+                start = t0 + wait
+                idle[pi] += start - t0
+        fi = start + w[i]
+        finish[i] = fi
+        busy[pi] += w[i]
+        proc_avail[pi] = fi
+
+    total = float(proc_avail.max()) if p else 0.0
+    idle += total - proc_avail
+
+    nd = dep.dep_counts().astype(np.float64)
+    shared = costs.shared_factor(p)
+    check_time = float(shared * costs.t_check * nd.sum()) if mode in ("self", "doacross") else 0.0
+    inc_time = float(shared * costs.t_inc * n)
+    sched_time = float(shared * costs.t_sched_access * n) if mode == "self" else 0.0
+    return SimResult(
+        mode=mode,
+        nproc=p,
+        total_time=total,
+        seq_time=sequential_time(dep, costs, unit_work),
+        busy=busy,
+        idle=idle,
+        check_time=check_time,
+        inc_time=inc_time,
+        sched_time=sched_time,
+        num_phases=schedule.num_wavefronts,
+        finish=finish if keep_finish_times else None,
+    )
+
+
+def simulate(
+    schedule: Schedule,
+    dep: DependenceGraph,
+    costs: MachineCosts = MachineCosts(),
+    *,
+    mode: str = "self",
+    unit_work: np.ndarray | None = None,
+) -> SimResult:
+    """Dispatch on ``mode``: ``"preschedule"``, ``"self"`` or ``"doacross"``."""
+    if mode == "preschedule":
+        return simulate_prescheduled(schedule, dep, costs, unit_work=unit_work)
+    return simulate_self_executing(schedule, dep, costs, mode=mode, unit_work=unit_work)

@@ -1,0 +1,111 @@
+"""Real thread-based execution of schedules.
+
+CPython's GIL serialises the numeric work, so this backend cannot show
+*speedups* — its purpose is to validate that the executor protocols are
+*correct under true concurrency*: threads really do interleave at
+bytecode granularity, so an executor that under-synchronises produces
+wrong answers here.  The test-suite runs every executor through this
+backend and compares against the sequential oracle.
+
+The kernel duck-type: any object with ``execute_index(i)`` (and
+``start()``/``result()``, used by the callers, not by this module).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from ..errors import DeadlockError, ValidationError
+
+__all__ = ["ThreadedMachine"]
+
+
+class ThreadedMachine:
+    """Runs per-processor schedule lists on real Python threads."""
+
+    def __init__(self, nproc: int, *, spin_yield_every: int = 64,
+                 timeout: float = 30.0):
+        if nproc <= 0:
+            raise ValidationError("nproc must be positive")
+        self.nproc = int(nproc)
+        #: Busy-waits yield the GIL every this many spins.
+        self.spin_yield_every = int(spin_yield_every)
+        #: Wall-clock deadline for a run (deadlock guard).
+        self.timeout = float(timeout)
+
+    # ------------------------------------------------------------------
+    def _launch(self, target, per_proc_args) -> None:
+        errors: list[BaseException] = []
+        lock = threading.Lock()
+
+        def wrap(args):
+            try:
+                target(*args)
+            except BaseException as exc:  # propagated below
+                with lock:
+                    errors.append(exc)
+
+        threads = [
+            threading.Thread(target=wrap, args=(per_proc_args[p],), daemon=True)
+            for p in range(self.nproc)
+        ]
+        deadline = time.monotonic() + self.timeout
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(max(0.0, deadline - time.monotonic()))
+        if any(t.is_alive() for t in threads):
+            raise DeadlockError(
+                f"threaded run exceeded {self.timeout}s — probable deadlock"
+            )
+        if errors:
+            raise errors[0]
+
+    # ------------------------------------------------------------------
+    def run_prescheduled(self, kernel, phases) -> None:
+        """Execute ``phases[w][p]`` with a barrier after every phase.
+
+        ``phases`` is the output of :meth:`repro.core.Schedule.phases`.
+        """
+        barrier = threading.Barrier(self.nproc)
+        num_phases = len(phases)
+
+        def proc(p):
+            for w in range(num_phases):
+                for i in phases[w][p]:
+                    kernel.execute_index(int(i))
+                barrier.wait(timeout=self.timeout)
+
+        self._launch(proc, [(p,) for p in range(self.nproc)])
+
+    def run_self_executing(self, kernel, schedule, dep) -> None:
+        """Execute with busy-wait coordination on a shared ready list.
+
+        Faithful to Figure 4: each iteration spins until every operand's
+        ``ready`` flag is set, then computes, then sets its own flag.
+        """
+        n = schedule.n
+        ready = bytearray(n)  # GIL guarantees byte-level atomicity
+        indptr, indices = dep.indptr, dep.indices
+        spin_yield = self.spin_yield_every
+        deadline = time.monotonic() + self.timeout
+
+        def proc(p):
+            for i in schedule.local_order[p]:
+                i = int(i)
+                for j in indices[indptr[i] : indptr[i + 1]]:
+                    j = int(j)
+                    spins = 0
+                    while not ready[j]:
+                        spins += 1
+                        if spins % spin_yield == 0:
+                            time.sleep(0)
+                            if time.monotonic() > deadline:
+                                raise DeadlockError(
+                                    f"busy-wait on index {j} timed out"
+                                )
+                kernel.execute_index(i)
+                ready[i] = 1
+
+        self._launch(proc, [(p,) for p in range(self.nproc)])

@@ -1,0 +1,271 @@
+"""Compressed sparse row matrix.
+
+:class:`CSRMatrix` stores a sparse matrix in the classic three-array CSR
+layout — ``indptr`` (row pointers, length ``nrows + 1``), ``indices``
+(column indices) and ``data`` (values).  It is deliberately minimal:
+just what the inspector (dependence analysis), the executors
+(triangular-solve kernels) and the Krylov solver need, with rigorous
+structural validation so that malformed structures fail loudly at
+construction time rather than corrupting a simulation.
+
+The layout matches the ``ija``-style indexed storage of Figure 8 of the
+paper, so the dependence analysis in :mod:`repro.core.dependence` reads
+directly off ``indptr``/``indices``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..errors import StructureError, ValidationError
+from ..util.validation import as_float_array, as_int_array
+
+__all__ = ["CSRMatrix"]
+
+
+class CSRMatrix:
+    """A square-or-rectangular sparse matrix in CSR format.
+
+    Parameters
+    ----------
+    indptr:
+        ``int64`` array of length ``nrows + 1``; row ``i`` occupies
+        ``indices[indptr[i]:indptr[i+1]]``.
+    indices:
+        Column indices, ``0 <= indices[k] < ncols``.
+    data:
+        Values, same length as ``indices``.
+    shape:
+        ``(nrows, ncols)``.
+    check:
+        When true (default), validate the structure: monotone
+        ``indptr``, in-range column indices.  Duplicate detection and
+        column sorting are available separately because they cost
+        ``O(nnz log nnz)``.
+    sort:
+        When true, sort the column indices within each row (required by
+        the triangular kernels; builders do this by default).
+    """
+
+    __slots__ = ("indptr", "indices", "data", "shape", "_row_of_nnz")
+
+    def __init__(self, indptr, indices, data, shape, *, check: bool = True, sort: bool = False):
+        self.indptr = as_int_array(indptr, "indptr")
+        self.indices = as_int_array(indices, "indices")
+        self.data = as_float_array(data, "data")
+        nrows, ncols = int(shape[0]), int(shape[1])
+        self.shape = (nrows, ncols)
+        self._row_of_nnz: np.ndarray | None = None
+        if check:
+            self._validate()
+        if sort:
+            self.sort_indices()
+
+    # ------------------------------------------------------------------
+    # Construction helpers / validation
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        nrows, ncols = self.shape
+        if nrows < 0 or ncols < 0:
+            raise ValidationError(f"shape must be non-negative, got {self.shape}")
+        if self.indptr.ndim != 1 or self.indptr.shape[0] != nrows + 1:
+            raise StructureError(
+                f"indptr must have length nrows+1={nrows + 1}, got {self.indptr.shape}"
+            )
+        if self.indptr[0] != 0:
+            raise StructureError(f"indptr[0] must be 0, got {self.indptr[0]}")
+        if np.any(np.diff(self.indptr) < 0):
+            raise StructureError("indptr must be non-decreasing")
+        nnz = int(self.indptr[-1])
+        if self.indices.shape[0] != nnz or self.data.shape[0] != nnz:
+            raise StructureError(
+                f"indices/data length must equal indptr[-1]={nnz}, got "
+                f"{self.indices.shape[0]}/{self.data.shape[0]}"
+            )
+        if nnz and (self.indices.min() < 0 or self.indices.max() >= ncols):
+            raise StructureError(
+                f"column indices must lie in [0, {ncols}); found "
+                f"[{self.indices.min()}, {self.indices.max()}]"
+            )
+
+    def sort_indices(self) -> "CSRMatrix":
+        """Sort column indices within each row, in place.  Returns self."""
+        for i in range(self.shape[0]):
+            lo, hi = self.indptr[i], self.indptr[i + 1]
+            if hi - lo > 1:
+                order = np.argsort(self.indices[lo:hi], kind="stable")
+                self.indices[lo:hi] = self.indices[lo:hi][order]
+                self.data[lo:hi] = self.data[lo:hi][order]
+        return self
+
+    def has_sorted_indices(self) -> bool:
+        """True when every row's column indices are strictly increasing."""
+        for i in range(self.shape[0]):
+            row = self.indices[self.indptr[i] : self.indptr[i + 1]]
+            if row.size > 1 and np.any(np.diff(row) <= 0):
+                return False
+        return True
+
+    def check_no_duplicates(self) -> None:
+        """Raise :class:`StructureError` if any row holds a duplicate column."""
+        for i in range(self.shape[0]):
+            row = self.indices[self.indptr[i] : self.indptr[i + 1]]
+            if row.size != np.unique(row).size:
+                raise StructureError(f"row {i} contains duplicate column indices")
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries."""
+        return int(self.indptr[-1])
+
+    @property
+    def nrows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def ncols(self) -> int:
+        return self.shape[1]
+
+    def row_nnz(self) -> np.ndarray:
+        """Per-row entry counts (length ``nrows``)."""
+        return np.diff(self.indptr)
+
+    def row_of_nnz(self) -> np.ndarray:
+        """For each stored entry, the row it belongs to (cached)."""
+        if self._row_of_nnz is None or self._row_of_nnz.shape[0] != self.nnz:
+            self._row_of_nnz = np.repeat(
+                np.arange(self.nrows, dtype=np.int64), self.row_nnz()
+            )
+        return self._row_of_nnz
+
+    def row(self, i: int) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(columns, values)`` views of row ``i``."""
+        lo, hi = self.indptr[i], self.indptr[i + 1]
+        return self.indices[lo:hi], self.data[lo:hi]
+
+    def iter_rows(self) -> Iterator[tuple[int, np.ndarray, np.ndarray]]:
+        """Yield ``(i, columns, values)`` for every row."""
+        for i in range(self.nrows):
+            cols, vals = self.row(i)
+            yield i, cols, vals
+
+    # ------------------------------------------------------------------
+    # Linear algebra
+    # ------------------------------------------------------------------
+    def matvec(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Sparse matrix–vector product ``y = A @ x``.
+
+        Vectorised via ``bincount`` on the expanded row index, which is
+        robust to empty rows (unlike a naive ``reduceat``).
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape[0] != self.ncols:
+            raise ValidationError(
+                f"x must have length {self.ncols}, got {x.shape[0]}"
+            )
+        contrib = self.data * x[self.indices]
+        y = np.bincount(self.row_of_nnz(), weights=contrib, minlength=self.nrows)
+        if out is not None:
+            out[:] = y
+            return out
+        return y
+
+    def __matmul__(self, x: np.ndarray) -> np.ndarray:
+        return self.matvec(x)
+
+    def diagonal(self) -> np.ndarray:
+        """Extract the main diagonal (zeros where absent)."""
+        n = min(self.shape)
+        d = np.zeros(n, dtype=np.float64)
+        for i in range(n):
+            cols, vals = self.row(i)
+            hit = np.nonzero(cols == i)[0]
+            if hit.size:
+                d[i] = vals[hit[0]]
+        return d
+
+    def transpose(self) -> "CSRMatrix":
+        """Return the transpose as a new CSR matrix (i.e. CSC of self)."""
+        nrows, ncols = self.shape
+        counts = np.bincount(self.indices, minlength=ncols)
+        indptr_t = np.zeros(ncols + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr_t[1:])
+        indices_t = np.empty(self.nnz, dtype=np.int64)
+        data_t = np.empty(self.nnz, dtype=np.float64)
+        fill = indptr_t[:-1].copy()
+        rows = self.row_of_nnz()
+        for k in range(self.nnz):
+            c = self.indices[k]
+            pos = fill[c]
+            indices_t[pos] = rows[k]
+            data_t[pos] = self.data[k]
+            fill[c] += 1
+        return CSRMatrix(indptr_t, indices_t, data_t, (ncols, nrows), check=False)
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+    def is_lower_triangular(self, *, strict: bool = False) -> bool:
+        """True when all entries satisfy ``col <= row`` (``<`` when strict)."""
+        rows = self.row_of_nnz()
+        if strict:
+            return bool(np.all(self.indices < rows))
+        return bool(np.all(self.indices <= rows))
+
+    def is_upper_triangular(self, *, strict: bool = False) -> bool:
+        """True when all entries satisfy ``col >= row`` (``>`` when strict)."""
+        rows = self.row_of_nnz()
+        if strict:
+            return bool(np.all(self.indices > rows))
+        return bool(np.all(self.indices >= rows))
+
+    def has_full_diagonal(self) -> bool:
+        """True when every row of a square matrix stores a diagonal entry."""
+        n = min(self.shape)
+        for i in range(n):
+            cols, _ = self.row(i)
+            if not np.any(cols == i):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    def to_dense(self) -> np.ndarray:
+        """Materialise as a dense ``float64`` array (testing/small sizes)."""
+        dense = np.zeros(self.shape, dtype=np.float64)
+        rows = self.row_of_nnz()
+        # += via add.at so duplicate entries accumulate like matvec does.
+        np.add.at(dense, (rows, self.indices), self.data)
+        return dense
+
+    def copy(self) -> "CSRMatrix":
+        """Deep copy."""
+        return CSRMatrix(
+            self.indptr.copy(), self.indices.copy(), self.data.copy(), self.shape,
+            check=False,
+        )
+
+    def with_data(self, data: np.ndarray) -> "CSRMatrix":
+        """Return a matrix sharing this structure but with new values."""
+        data = as_float_array(data, "data")
+        if data.shape[0] != self.nnz:
+            raise ValidationError(f"data must have length nnz={self.nnz}")
+        return CSRMatrix(self.indptr, self.indices, data, self.shape, check=False)
+
+    def allclose(self, other: "CSRMatrix", rtol: float = 1e-10, atol: float = 1e-12) -> bool:
+        """Numerically compare two matrices (via dense form; test helper)."""
+        if self.shape != other.shape:
+            return False
+        return np.allclose(self.to_dense(), other.to_dense(), rtol=rtol, atol=atol)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CSRMatrix(shape={self.shape}, nnz={self.nnz}, "
+            f"density={self.nnz / max(1, self.shape[0] * self.shape[1]):.4f})"
+        )

@@ -1,0 +1,83 @@
+"""Vector kernels and operation counting.
+
+The parallel PCGPAK analysis in the paper charges every component of the
+Krylov iteration — SAXPYs, inner products, sparse matrix–vector
+products, triangular solves — to the machine model.  The kernels here
+compute the numbers; the ``flop_count_*`` helpers report the
+floating-point operation counts that the cost model multiplies by
+per-operation times.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ValidationError
+from .csr import CSRMatrix
+
+__all__ = [
+    "matvec",
+    "saxpy",
+    "dot",
+    "flop_count_matvec",
+    "flop_count_solve",
+    "flop_count_saxpy",
+    "flop_count_dot",
+]
+
+
+def matvec(a: CSRMatrix, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    """``y = A @ x`` (delegates to :meth:`CSRMatrix.matvec`)."""
+    return a.matvec(x, out=out)
+
+
+def saxpy(alpha: float, x: np.ndarray, y: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    """``out = alpha * x + y`` (allocates unless ``out`` is given).
+
+    With ``out is y`` this is the classic in-place SAXPY update.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape:
+        raise ValidationError(f"x and y must match, got {x.shape} vs {y.shape}")
+    scaled = alpha * x  # temp so that `out is y` (or `out is x`) aliasing is safe
+    if out is None:
+        return scaled + y
+    np.add(scaled, y, out=out)
+    return out
+
+
+def dot(x: np.ndarray, y: np.ndarray) -> float:
+    """Euclidean inner product."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape:
+        raise ValidationError(f"x and y must match, got {x.shape} vs {y.shape}")
+    return float(np.dot(x, y))
+
+
+def flop_count_matvec(a: CSRMatrix) -> int:
+    """Multiply–add pairs count as two flops each: ``2 * nnz``."""
+    return 2 * a.nnz
+
+
+def flop_count_solve(t: CSRMatrix, *, unit_diagonal: bool = False) -> int:
+    """Flops of one triangular substitution.
+
+    Two flops per strictly-off-diagonal entry (multiply + subtract) plus
+    one divide per row when the diagonal is explicit.
+    """
+    rows = t.row_of_nnz()
+    strict = int(np.count_nonzero(t.indices != rows))
+    divides = 0 if unit_diagonal else t.nrows
+    return 2 * strict + divides
+
+
+def flop_count_saxpy(n: int) -> int:
+    """``2n`` flops for a length-``n`` SAXPY."""
+    return 2 * int(n)
+
+
+def flop_count_dot(n: int) -> int:
+    """``2n - 1`` flops for a length-``n`` inner product."""
+    return max(0, 2 * int(n) - 1)

@@ -1,0 +1,52 @@
+"""Wall-clock measurement helper.
+
+The *simulated* machine timings of :mod:`repro.machine` are the primary
+results of this library, but the inspector-overhead experiments
+(Table 5 of the paper) also report *actual* host time spent sorting, and
+the test-suite sanity-checks that inspection cost is amortisable.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Stopwatch"]
+
+
+class Stopwatch:
+    """Accumulating stopwatch with context-manager support.
+
+    Example
+    -------
+    >>> sw = Stopwatch()
+    >>> with sw:
+    ...     _ = sum(range(1000))
+    >>> sw.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._t0: float | None = None
+
+    def start(self) -> "Stopwatch":
+        self._t0 = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._t0 is None:
+            raise RuntimeError("Stopwatch.stop() called before start()")
+        dt = time.perf_counter() - self._t0
+        self.elapsed += dt
+        self._t0 = None
+        return dt
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._t0 = None
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

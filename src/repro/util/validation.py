@@ -1,0 +1,84 @@
+"""Argument validation helpers.
+
+These helpers normalise user input into the canonical dtypes used across
+the library (``int64`` for index arrays, ``float64`` for value arrays)
+and raise :class:`repro.errors.ValidationError` with a descriptive
+message when the input is unusable.  Centralising the checks keeps the
+public API functions short and the error messages consistent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ValidationError
+
+__all__ = [
+    "as_int_array",
+    "as_float_array",
+    "check_index_array",
+    "check_positive",
+    "check_square",
+    "check_vector",
+]
+
+
+def as_int_array(a, name: str = "array") -> np.ndarray:
+    """Return ``a`` as a contiguous ``int64`` NumPy array.
+
+    Floating-point input is accepted only when it is exactly integral.
+    """
+    arr = np.asarray(a)
+    if arr.dtype.kind == "f":
+        rounded = np.rint(arr)
+        if not np.array_equal(rounded, arr):
+            raise ValidationError(f"{name} must contain integers, got fractional values")
+        arr = rounded
+    elif arr.dtype.kind not in "iu":
+        raise ValidationError(f"{name} must be an integer array, got dtype {arr.dtype}")
+    return np.ascontiguousarray(arr, dtype=np.int64)
+
+
+def as_float_array(a, name: str = "array") -> np.ndarray:
+    """Return ``a`` as a contiguous ``float64`` NumPy array."""
+    arr = np.asarray(a)
+    if arr.dtype.kind not in "fiu":
+        raise ValidationError(f"{name} must be numeric, got dtype {arr.dtype}")
+    return np.ascontiguousarray(arr, dtype=np.float64)
+
+
+def check_index_array(a, n: int, name: str = "indices") -> np.ndarray:
+    """Validate that ``a`` is a 1-D integer array with entries in ``[0, n)``."""
+    arr = as_int_array(a, name)
+    if arr.ndim != 1:
+        raise ValidationError(f"{name} must be one-dimensional, got shape {arr.shape}")
+    if arr.size and (arr.min() < 0 or arr.max() >= n):
+        raise ValidationError(
+            f"{name} entries must lie in [0, {n}); found range "
+            f"[{arr.min()}, {arr.max()}]"
+        )
+    return arr
+
+
+def check_positive(value, name: str = "value") -> int:
+    """Validate that ``value`` is a positive integer and return it as ``int``."""
+    iv = int(value)
+    if iv != value or iv <= 0:
+        raise ValidationError(f"{name} must be a positive integer, got {value!r}")
+    return iv
+
+
+def check_square(shape, name: str = "matrix") -> int:
+    """Validate that ``shape`` is square and return its dimension."""
+    n, m = shape
+    if n != m:
+        raise ValidationError(f"{name} must be square, got shape {shape}")
+    return int(n)
+
+
+def check_vector(x, n: int, name: str = "vector") -> np.ndarray:
+    """Validate that ``x`` is a length-``n`` 1-D float vector."""
+    arr = as_float_array(x, name)
+    if arr.ndim != 1 or arr.shape[0] != n:
+        raise ValidationError(f"{name} must have shape ({n},), got {arr.shape}")
+    return arr

@@ -1,0 +1,19 @@
+"""Parameterized synthetic workload generator (Section 4.1 of the paper).
+
+The paper generates data-dependency matrices over a 2-D mesh of points:
+the number of dependency links leaving each index follows a Poisson
+distribution and the Manhattan distance of each link follows a geometric
+distribution, capturing the "indices interact with nearby indices"
+character of physical problems.  A workload named ``65-4-3`` is a 65×65
+mesh with mean degree 4 and mean link distance 3.
+"""
+
+from .generator import SyntheticWorkload, generate_workload
+from .naming import parse_workload_name, format_workload_name
+
+__all__ = [
+    "SyntheticWorkload",
+    "generate_workload",
+    "parse_workload_name",
+    "format_workload_name",
+]

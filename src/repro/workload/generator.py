@@ -1,0 +1,200 @@
+"""The Section 4.1 synthetic data-dependency workload generator.
+
+The generator operates on a square 2-D mesh of points in natural
+ordering.  For each index ``k``:
+
+1. the number of dependency links is drawn from a Poisson distribution
+   with parameter ``lambda`` (the "volume of communication");
+2. each link's Manhattan distance ``d`` is drawn from a geometric
+   distribution ``Pr[X = i] = (1 - p) p^i`` (the "locality of
+   communication" — nearby regions interact more intensely);
+3. a partner is chosen uniformly among mesh points exactly ``d`` away
+   in the Manhattan metric (if any remain), and a dependence edge is
+   forged between ``k`` and the partner.
+
+Edges are oriented from the lower index to the higher (the computation
+for the later index *uses* the earlier one), so the result is a DAG
+whose adjacency is exactly the strict lower triangle of a dependency
+matrix — the same shape of input a sparse triangular solve presents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..sparse.build import coo_to_csr
+from ..sparse.csr import CSRMatrix
+from ..util.rng import default_rng
+from ..util.validation import check_positive
+from .naming import format_workload_name, parse_workload_name
+
+__all__ = ["SyntheticWorkload", "generate_workload"]
+
+
+@dataclass(frozen=True)
+class SyntheticWorkload:
+    """A generated dependency workload.
+
+    Attributes
+    ----------
+    name:
+        The paper-style label, e.g. ``"65-4-3"``.
+    matrix:
+        Lower-triangular CSR matrix: strict lower entries are the
+        dependence links (synthetic coefficients), the diagonal is
+        dominant, so the matrix doubles as a solvable triangular
+        system.
+    mesh:
+        Mesh side length (``mesh × mesh`` points).
+    mean_degree / mean_distance:
+        The Poisson and geometric parameters used.
+    """
+
+    name: str
+    matrix: CSRMatrix
+    mesh: int
+    mean_degree: float
+    mean_distance: float
+
+    @property
+    def n(self) -> int:
+        return self.matrix.nrows
+
+    def dependence_counts(self) -> np.ndarray:
+        """Strictly-lower entry count per row (the realized in-degrees)."""
+        rows = self.matrix.row_of_nnz()
+        strict = self.matrix.indices < rows
+        return np.bincount(rows[strict], minlength=self.n)
+
+
+def _ring_offsets(d: int) -> np.ndarray:
+    """All ``(dx, dy)`` integer offsets at Manhattan distance exactly ``d``."""
+    offs = []
+    for dx in range(-d, d + 1):
+        rem = d - abs(dx)
+        if rem == 0:
+            offs.append((dx, 0))
+        else:
+            offs.append((dx, rem))
+            offs.append((dx, -rem))
+    return np.array(offs, dtype=np.int64)
+
+
+def generate_workload(
+    name_or_mesh,
+    mean_degree: float | None = None,
+    mean_distance: float | None = None,
+    *,
+    seed=None,
+    max_distance: int = 64,
+) -> SyntheticWorkload:
+    """Generate a synthetic workload.
+
+    Accepts either a paper-style name (``generate_workload("65-4-3")``)
+    or explicit parameters (``generate_workload(65, 4, 3)``).  The
+    ``"<n>mesh"`` form produces the lower triangle of the plain 5-point
+    mesh matrix instead of random links.
+
+    Parameters
+    ----------
+    seed:
+        RNG seed; default is the library seed (deterministic).
+    max_distance:
+        Geometric draws are truncated here to bound ring enumeration.
+    """
+    if isinstance(name_or_mesh, str):
+        params = parse_workload_name(name_or_mesh)
+        mesh = params["mesh"]
+        mean_degree = params["mean_degree"]
+        mean_distance = params["mean_distance"]
+    else:
+        mesh = int(name_or_mesh)
+    mesh = check_positive(mesh, "mesh")
+    n = mesh * mesh
+    rng = default_rng(seed)
+
+    if mean_degree is None or mean_distance is None:
+        return _mesh_workload(mesh, rng)
+    if mean_degree < 0:
+        raise ValidationError("mean_degree must be non-negative")
+    if mean_distance <= 0:
+        raise ValidationError("mean_distance must be positive")
+
+    # Geometric Pr[X=i] = (1-p) p^i for i >= 0 has mean p / (1 - p);
+    # we want links at distance >= 1, so draw i >= 0 and use d = i + 1,
+    # giving mean 1 + p/(1-p).  Solve for p from the requested mean.
+    extra = max(mean_distance - 1.0, 1e-9)
+    p = extra / (1.0 + extra)
+
+    rings = {d: _ring_offsets(d) for d in range(1, max_distance + 1)}
+
+    degree = rng.poisson(lam=mean_degree, size=n)
+    rows_l: list[int] = []
+    cols_l: list[int] = []
+    for k in range(n):
+        kx, ky = k % mesh, k // mesh
+        links = degree[k]
+        if links == 0:
+            continue
+        dists = 1 + rng.geometric(1.0 - p, size=links) - 1  # geometric >= 1
+        np.minimum(dists, max_distance, out=dists)
+        for d in dists:
+            offs = rings[int(d)]
+            # Uniform choice among in-mesh candidates on the ring.
+            cand_x = kx + offs[:, 0]
+            cand_y = ky + offs[:, 1]
+            ok = (cand_x >= 0) & (cand_x < mesh) & (cand_y >= 0) & (cand_y < mesh)
+            if not ok.any():
+                continue
+            pick = rng.integers(0, int(ok.sum()))
+            sel = np.nonzero(ok)[0][pick]
+            partner = int(cand_y[sel]) * mesh + int(cand_x[sel])
+            lo, hi = (partner, k) if partner < k else (k, partner)
+            if lo != hi:
+                rows_l.append(hi)
+                cols_l.append(lo)
+
+    name = format_workload_name(mesh, mean_degree, mean_distance)
+    return _assemble(name, mesh, mean_degree, mean_distance, n, rows_l, cols_l, rng)
+
+
+def _assemble(name, mesh, mean_degree, mean_distance, n, rows_l, cols_l, rng):
+    rows = np.asarray(rows_l, dtype=np.int64)
+    cols = np.asarray(cols_l, dtype=np.int64)
+    vals = rng.uniform(-1.0, -0.1, size=rows.shape[0])
+    # Duplicate links collapse (summed) in CSR assembly; add a dominant
+    # diagonal so the workload is also a solvable triangular system.
+    all_rows = np.concatenate([rows, np.arange(n)])
+    all_cols = np.concatenate([cols, np.arange(n)])
+    diag = np.full(n, float(mean_degree) + 2.0)
+    all_vals = np.concatenate([vals, diag])
+    matrix = coo_to_csr(all_rows, all_cols, all_vals, (n, n))
+    return SyntheticWorkload(
+        name=name,
+        matrix=matrix,
+        mesh=mesh,
+        mean_degree=float(mean_degree),
+        mean_distance=float(mean_distance),
+    )
+
+
+def _mesh_workload(mesh: int, rng) -> SyntheticWorkload:
+    """The ``"<n>mesh"`` workload: lower triangle of the 5-point mesh."""
+    n = mesh * mesh
+    idx = np.arange(n)
+    ix, iy = idx % mesh, idx // mesh
+    rows_parts = []
+    cols_parts = []
+    # West and south neighbours are the lower-index dependences.
+    west = ix > 0
+    rows_parts.append(idx[west])
+    cols_parts.append(idx[west] - 1)
+    south = iy > 0
+    rows_parts.append(idx[south])
+    cols_parts.append(idx[south] - mesh)
+    rows = np.concatenate(rows_parts)
+    cols = np.concatenate(cols_parts)
+    return _assemble(f"{mesh}mesh", mesh, 2.0, 1.0, n, list(rows), list(cols), rng)

@@ -1,0 +1,55 @@
+"""Parsing and formatting of the paper's ``<mesh>-<lambda>-<dist>`` names.
+
+Table 5 of the paper labels synthetic workloads ``65-4-1.5``,
+``65-4-3``, and uses ``65mesh`` for the plain 65×65 five-point mesh
+matrix.  These helpers convert between those strings and parameter
+tuples so the experiment drivers can use the paper's own labels.
+"""
+
+from __future__ import annotations
+
+from ..errors import ValidationError
+
+__all__ = ["parse_workload_name", "format_workload_name"]
+
+
+def parse_workload_name(name: str) -> dict:
+    """Parse ``"65-4-3"`` → ``{"mesh": 65, "mean_degree": 4.0, "mean_distance": 3.0}``.
+
+    The special form ``"<n>mesh"`` denotes the plain 5-point mesh matrix
+    and parses to ``{"mesh": n, "mean_degree": None, "mean_distance": None}``.
+    """
+    s = name.strip().lower()
+    if s.endswith("mesh"):
+        try:
+            mesh = int(s[:-4])
+        except ValueError as exc:
+            raise ValidationError(f"malformed workload name {name!r}") from exc
+        return {"mesh": mesh, "mean_degree": None, "mean_distance": None}
+    parts = s.split("-")
+    if len(parts) != 3:
+        raise ValidationError(
+            f"workload name must look like '65-4-3' or '65mesh', got {name!r}"
+        )
+    try:
+        mesh = int(parts[0])
+        deg = float(parts[1])
+        dist = float(parts[2])
+    except ValueError as exc:
+        raise ValidationError(f"malformed workload name {name!r}") from exc
+    if mesh <= 0 or deg < 0 or dist <= 0:
+        raise ValidationError(f"workload parameters out of range in {name!r}")
+    return {"mesh": mesh, "mean_degree": deg, "mean_distance": dist}
+
+
+def _num(v: float) -> str:
+    """Format 4.0 as '4' but 1.5 as '1.5' (matching the paper's labels)."""
+    return str(int(v)) if float(v).is_integer() else str(v)
+
+
+def format_workload_name(mesh: int, mean_degree: float | None,
+                         mean_distance: float | None) -> str:
+    """Inverse of :func:`parse_workload_name`."""
+    if mean_degree is None or mean_distance is None:
+        return f"{mesh}mesh"
+    return f"{mesh}-{_num(mean_degree)}-{_num(mean_distance)}"

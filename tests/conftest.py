@@ -1,0 +1,56 @@
+"""Shared fixtures for the test-suite.
+
+Sizes are deliberately small — the full suite must stay fast — while
+benchmarks exercise the paper's full problem sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dependence import DependenceGraph
+from repro.mesh.problems import get_problem
+from repro.sparse.build import random_lower_triangular
+from repro.sparse.triangular import split_triangular
+from repro.workload.generator import generate_workload
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_mesh_problem():
+    """5-PT at quarter scale (15×15 grid, 225 unknowns)."""
+    return get_problem("5-PT", scale=0.25)
+
+
+@pytest.fixture(scope="session")
+def small_spe_problem():
+    """SPE5-like block problem at half scale."""
+    return get_problem("SPE5", scale=0.5)
+
+
+@pytest.fixture(scope="session")
+def small_lower():
+    """A random sparse lower-triangular matrix with full diagonal."""
+    return random_lower_triangular(120, avg_off_diag=2.5, max_band=25, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_lower_dep(small_lower):
+    return DependenceGraph.from_lower_csr(small_lower)
+
+
+@pytest.fixture(scope="session")
+def mesh_lower(small_mesh_problem):
+    """Strict-lower factor structure + diagonal of the small 5-PT matrix."""
+    l, d, _ = split_triangular(small_mesh_problem.a)
+    return l, d
+
+
+@pytest.fixture(scope="session")
+def small_workload():
+    return generate_workload("20-3-2", seed=99)

@@ -1,0 +1,128 @@
+"""Unit tests for sparse matrix builders."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.sparse.build import (
+    block_expand,
+    coo_to_csr,
+    csr_from_dense,
+    identity,
+    random_lower_triangular,
+)
+
+
+class TestCooToCsr:
+    def test_basic_assembly(self):
+        a = coo_to_csr([0, 1, 1], [1, 0, 2], [1.0, 2.0, 3.0], (2, 3))
+        assert a.nnz == 3
+        np.testing.assert_allclose(
+            a.to_dense(), [[0.0, 1.0, 0.0], [2.0, 0.0, 3.0]]
+        )
+
+    def test_duplicates_summed(self):
+        a = coo_to_csr([0, 0, 0], [1, 1, 1], [1.0, 2.0, 3.0], (1, 2))
+        assert a.nnz == 1
+        assert a.to_dense()[0, 1] == 6.0
+
+    def test_duplicates_kept_when_requested(self):
+        a = coo_to_csr([0, 0], [1, 1], [1.0, 2.0], (1, 2), sum_duplicates=False)
+        assert a.nnz == 2
+        # to_dense accumulates, matching matvec semantics.
+        assert a.to_dense()[0, 1] == 3.0
+
+    def test_rows_sorted_and_columns_sorted(self):
+        a = coo_to_csr([1, 0, 1], [2, 1, 0], [1.0, 2.0, 3.0], (2, 3))
+        assert a.has_sorted_indices()
+        cols, _ = a.row(1)
+        assert list(cols) == [0, 2]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValidationError):
+            coo_to_csr([0], [5], [1.0], (1, 3))
+        with pytest.raises(ValidationError):
+            coo_to_csr([3], [0], [1.0], (2, 3))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            coo_to_csr([0, 1], [0], [1.0], (2, 2))
+
+    def test_empty(self):
+        a = coo_to_csr([], [], [], (3, 3))
+        assert a.nnz == 0
+        np.testing.assert_allclose(a.to_dense(), np.zeros((3, 3)))
+
+
+class TestFromDense:
+    def test_tolerance_drops_entries(self):
+        dense = np.array([[0.5, 1e-12], [0.0, 2.0]])
+        a = csr_from_dense(dense, tol=1e-10)
+        assert a.nnz == 2
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValidationError):
+            csr_from_dense(np.ones(3))
+
+
+class TestIdentity:
+    def test_identity_dense(self):
+        np.testing.assert_allclose(identity(4).to_dense(), np.eye(4))
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValidationError):
+            identity(0)
+
+
+class TestRandomLowerTriangular:
+    def test_structure(self):
+        a = random_lower_triangular(50, avg_off_diag=3, seed=1)
+        assert a.is_lower_triangular()
+        assert a.has_full_diagonal()
+
+    def test_deterministic(self):
+        a = random_lower_triangular(30, seed=42)
+        b = random_lower_triangular(30, seed=42)
+        assert a.allclose(b)
+
+    def test_different_seeds_differ(self):
+        a = random_lower_triangular(30, seed=1)
+        b = random_lower_triangular(30, seed=2)
+        assert not a.allclose(b)
+
+    def test_band_limit(self):
+        a = random_lower_triangular(60, avg_off_diag=5, max_band=4, seed=3)
+        rows = a.row_of_nnz()
+        off = a.indices < rows
+        assert np.all(rows[off] - a.indices[off] <= 4)
+
+    def test_unit_diagonal(self):
+        a = random_lower_triangular(20, unit_diagonal=True, seed=4)
+        np.testing.assert_allclose(a.diagonal(), np.ones(20))
+
+
+class TestBlockExpand:
+    def test_shape_and_nnz(self):
+        base = identity(3)
+        ex = block_expand(base, 2, seed=5)
+        assert ex.shape == (6, 6)
+        assert ex.nnz == 3 * 4  # each entry becomes a 2x2 block
+
+    def test_diagonal_dominance(self):
+        base = random_lower_triangular(8, avg_off_diag=2, seed=6)
+        ex = block_expand(base, 3, seed=6)
+        dense = ex.to_dense()
+        diag = np.abs(np.diag(dense))
+        offsum = np.abs(dense).sum(axis=1) - diag
+        assert np.all(diag > offsum)
+
+    def test_block_one_rejected_dimension(self):
+        base = identity(2)
+        with pytest.raises(ValidationError):
+            block_expand(base, 0)
+
+    def test_deterministic(self):
+        base = identity(4)
+        a = block_expand(base, 2, seed=9)
+        b = block_expand(base, 2, seed=9)
+        assert a.allclose(b)

@@ -1,0 +1,249 @@
+"""Edge cases and small behaviours across modules."""
+
+import numpy as np
+import pytest
+
+from repro.core.dependence import DependenceGraph
+from repro.core.schedule import global_schedule, identity_schedule
+from repro.core.transform import parallelize_source
+from repro.core.wavefront import compute_wavefronts
+from repro.errors import ConvergenceError, ValidationError
+from repro.machine.costs import MachineCosts
+from repro.machine.simulator import SimResult, simulate
+from repro.util.tables import TextTable
+from repro.util.timing import Stopwatch
+from repro.util.rng import default_rng, spawn_rng
+from repro.util.validation import as_int_array, check_positive
+
+
+class TestUtilEdges:
+    def test_table_row_length_mismatch(self):
+        t = TextTable(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_table_formats_mismatch(self):
+        with pytest.raises(ValueError):
+            TextTable(["a"], formats=[None, None])
+
+    def test_table_none_renders_dash(self):
+        t = TextTable(["a"], formats=[".2f"])
+        t.add_row(None)
+        assert "-" in t.render()
+
+    def test_table_extend(self):
+        t = TextTable(["a", "b"])
+        t.extend([(1, 2), (3, 4)])
+        assert len(t.rows) == 2
+
+    def test_stopwatch_stop_before_start(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_stopwatch_reset(self):
+        sw = Stopwatch()
+        with sw:
+            pass
+        sw.reset()
+        assert sw.elapsed == 0.0
+
+    def test_default_rng_passthrough(self):
+        g = np.random.default_rng(5)
+        assert default_rng(g) is g
+
+    def test_spawn_rng_independent(self):
+        g = default_rng(1)
+        a = spawn_rng(g, 0).integers(0, 1000, 10)
+        b = spawn_rng(g, 1).integers(0, 1000, 10)
+        assert not np.array_equal(a, b)
+
+    def test_as_int_array_accepts_integral_floats(self):
+        np.testing.assert_array_equal(as_int_array([1.0, 2.0]), [1, 2])
+
+    def test_check_positive_rejects_fraction(self):
+        with pytest.raises(ValidationError):
+            check_positive(1.5)
+
+
+class TestDegenerateStructures:
+    def test_single_index_loop(self):
+        dep = DependenceGraph.from_indirection(np.array([0]))
+        wf = compute_wavefronts(dep)
+        assert list(wf) == [0]
+        sched = global_schedule(wf, 4)
+        sim = simulate(sched, dep, mode="self")
+        assert sim.total_time > 0
+
+    def test_no_dependences_is_doall(self):
+        """A dependence-free loop degenerates to a doall: one wavefront,
+        one phase, perfect symbolic load balance."""
+        dep = DependenceGraph.from_edges([], 64)
+        wf = compute_wavefronts(dep)
+        assert wf.max() == 0
+        sched = global_schedule(wf, 8)
+        zero = MachineCosts().with_overheads_zeroed()
+        pre = simulate(sched, dep, zero, mode="preschedule")
+        assert pre.num_phases == 1
+        assert pre.efficiency == pytest.approx(1.0)
+
+    def test_chain_is_fully_sequential(self):
+        n = 32
+        edges = [(i, i - 1) for i in range(1, n)]
+        dep = DependenceGraph.from_edges(edges, n)
+        wf = compute_wavefronts(dep)
+        sched = global_schedule(wf, 4)
+        zero = MachineCosts().with_overheads_zeroed()
+        sim = simulate(sched, dep, zero, mode="self")
+        # Sequential chain: efficiency exactly 1/p.
+        assert sim.efficiency == pytest.approx(1.0 / 4.0)
+
+    def test_schedule_with_empty_processors(self):
+        dep = DependenceGraph.from_edges([], 3)
+        wf = compute_wavefronts(dep)
+        sched = global_schedule(wf, 8)  # more procs than indices
+        sim = simulate(sched, dep, mode="preschedule")
+        assert sim.total_time > 0
+
+    def test_more_procs_than_wavefront_width(self):
+        dep = DependenceGraph.from_edges([(1, 0), (2, 1)], 3)
+        wf = compute_wavefronts(dep)
+        sched = identity_schedule(wf, 5)
+        sim = simulate(sched, dep, mode="doacross")
+        assert 0 < sim.efficiency <= 1.0
+
+
+class TestSimResultProperties:
+    def test_zero_time_edge(self):
+        r = SimResult(mode="self", nproc=2, total_time=0.0, seq_time=0.0,
+                      busy=np.zeros(2), idle=np.zeros(2))
+        assert r.efficiency == 1.0
+        assert r.speedup == 2.0
+
+    def test_aggregates(self):
+        r = SimResult(mode="self", nproc=2, total_time=10.0, seq_time=12.0,
+                      busy=np.array([6.0, 4.0]), idle=np.array([4.0, 6.0]))
+        assert r.total_busy == 10.0
+        assert r.total_idle == 10.0
+        assert r.efficiency == pytest.approx(0.6)
+
+
+class TestPollQuantum:
+    def test_poll_increases_waits_only(self):
+        dep = DependenceGraph.from_edges([(1, 0), (2, 0), (3, 1), (3, 2)], 4)
+        wf = compute_wavefronts(dep)
+        sched = global_schedule(wf, 2)
+        base = MachineCosts(t_poll=0.0)
+        polled = MachineCosts(t_poll=50.0)
+        t0 = simulate(sched, dep, base, mode="self").total_time
+        t1 = simulate(sched, dep, polled, mode="self").total_time
+        assert t1 >= t0
+
+
+class TestTransformExtras:
+    def test_augmented_assignment(self):
+        pl = parallelize_source(
+            "def f(x, b, ia, n):\n"
+            "    for i in range(n):\n"
+            "        x[i] += b[i] * x[ia[i]]\n"
+        )
+        rng = np.random.default_rng(9)
+        n = 40
+        args = (rng.standard_normal(n), rng.standard_normal(n),
+                rng.integers(0, n, size=n), n)
+        np.testing.assert_allclose(
+            pl.run(*args, nproc=3), pl.run_original(*args),
+        )
+
+    def test_doall_loop_transforms_cleanly(self):
+        """A loop with no dependence-carrying reads still transforms;
+        its inspector finds zero dependences (a doall)."""
+        pl = parallelize_source(
+            "def f(x, b, n):\n"
+            "    for i in range(n):\n"
+            "        x[i] = x[i] * b[i]\n"
+        )
+        n = 20
+        x = np.arange(1.0, n + 1)
+        b = np.full(n, 2.0)
+        dep = pl.dependence_graph(x, b, n)
+        assert dep.num_edges == 0
+        np.testing.assert_allclose(
+            pl.run(x, b, n, nproc=4), pl.run_original(x, b, n),
+        )
+
+    def test_multiple_reads_same_array(self):
+        pl = parallelize_source(
+            "def f(x, ia, ib, n):\n"
+            "    for i in range(n):\n"
+            "        x[i] = x[i] + x[ia[i]] * x[ib[i]]\n"
+        )
+        rng = np.random.default_rng(10)
+        n = 30
+        args = (rng.standard_normal(n), rng.integers(0, n, size=n),
+                rng.integers(0, n, size=n), n)
+        np.testing.assert_allclose(
+            pl.run(*args, nproc=3), pl.run_original(*args),
+        )
+
+
+class TestErrors:
+    def test_convergence_error_fields(self):
+        e = ConvergenceError("no", iterations=7, residual=0.5)
+        assert e.iterations == 7
+        assert e.residual == 0.5
+
+    def test_hierarchy(self):
+        from repro.errors import (
+            DeadlockError, ReproError, ScheduleError, StructureError,
+            TransformError, ValidationError,
+        )
+        for cls in (ValidationError, StructureError, ScheduleError,
+                    DeadlockError, TransformError, ConvergenceError):
+            assert issubclass(cls, ReproError)
+        assert issubclass(DeadlockError, ScheduleError)
+
+
+class TestWorkloadEdges:
+    def test_max_distance_truncation(self):
+        from repro.workload.generator import generate_workload
+        wl = generate_workload(10, 2.0, 50.0, seed=1, max_distance=3)
+        m = wl.matrix
+        rows = m.row_of_nnz()
+        strict = m.indices < rows
+        r, c = rows[strict], m.indices[strict]
+        dist = np.abs(r % 10 - c % 10) + np.abs(r // 10 - c // 10)
+        assert dist.max() <= 3 if dist.size else True
+
+    def test_zero_degree(self):
+        from repro.workload.generator import generate_workload
+        wl = generate_workload(5, 0.0, 1.0, seed=2)
+        assert wl.dependence_counts().sum() == 0
+
+
+class TestILUDirections:
+    def test_upper_solver_in_preconditioner(self):
+        """The U-solve goes backwards; verify the full M^{-1} apply is
+        really (LU)^{-1} on a nontrivial matrix."""
+        from repro.krylov.ilu import ILUPreconditioner
+        from repro.sparse.build import csr_from_dense
+
+        rng = np.random.default_rng(3)
+        n = 25
+        dense = rng.standard_normal((n, n))
+        dense[np.abs(dense) < 1.1] = 0.0
+        dense += np.diag(np.abs(dense).sum(axis=1) + 1.0)
+        a = csr_from_dense(dense)
+        pre = ILUPreconditioner(a, 0)
+        f = pre.factorization
+        lmat = f.l_strict.to_dense() + np.eye(n)
+        umat = f.u.to_dense()
+        r = rng.standard_normal(n)
+        np.testing.assert_allclose(lmat @ umat @ pre.apply(r), r, rtol=1e-8)
+
+    def test_ilu2_tighter_than_ilu1(self):
+        from repro.krylov.ilu import symbolic_ilu
+        from repro.mesh.fd2d import five_point_laplacian
+        from repro.mesh.grid import Grid2D
+
+        a = five_point_laplacian(Grid2D(7, 7))
+        assert symbolic_ilu(a, 2).nnz >= symbolic_ilu(a, 1).nnz

@@ -1,0 +1,216 @@
+"""Tests for the experiment drivers — shapes of the paper's findings.
+
+These run every table/figure driver at reduced scale and assert the
+*qualitative* results the paper reports, which is the reproduction
+contract: who wins, by roughly what factor, where the crossovers fall.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.ablations import (
+    run_balance_ablation,
+    run_barrier_sweep,
+    run_shared_cost_sweep,
+)
+from repro.experiments.figure1 import render_quadrant, run_figure1
+from repro.experiments.figure12 import render_ascii_chart, run_figure12
+from repro.experiments.model_check import run_model_check
+from repro.experiments.runner import ExperimentContext
+from repro.experiments.table1 import run_table1
+from repro.experiments.table23 import run_table23
+from repro.experiments.table4 import run_table4
+from repro.experiments.table5 import run_table5
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext(nproc=8, scale=0.3, tol=1e-7, maxiter=400)
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def result(self, ctx):
+        return run_table1(ctx, problems=("SPE4", "5-PT"))
+
+    def test_rows_and_table(self, result):
+        rows, table = result
+        assert len(rows) == 2
+        rendered = table.render()
+        assert "S.E. time" in rendered
+
+    def test_self_execution_wins_on_5pt(self, result):
+        rows, _ = result
+        by_name = {r.problem: r for r in rows}
+        assert by_name["5-PT"].self_wins
+
+    def test_efficiencies_in_range(self, result):
+        rows, _ = result
+        for r in rows:
+            assert 0 < r.self_efficiency <= 1
+            assert 0 < r.presched_efficiency <= 1
+
+    def test_sort_time_small_fraction(self, result):
+        """Paper: sort time is small compared to total execution time."""
+        rows, _ = result
+        for r in rows:
+            assert r.sort_time < 0.25 * r.self_time
+
+    def test_markdown_rendering(self, result):
+        _, table = result
+        md = table.render_markdown()
+        assert md.count("|") > 10
+
+
+class TestTable23:
+    @pytest.fixture(scope="class")
+    def result(self, ctx):
+        return run_table23(ctx, problems=("SPE4", "5-PT"))
+
+    def test_both_tables_produced(self, result):
+        rows, tables = result
+        assert set(rows) == {"preschedule", "self"}
+        assert "Doacross" in tables["preschedule"].render()
+        assert "Doacross" not in tables["self"].render()
+
+    def test_estimation_chain(self, result):
+        rows, _ = result
+        for executor, rowlist in rows.items():
+            for row in rowlist:
+                a = row.analysis
+                assert a.one_pe_sequential <= a.one_pe_parallel + 1e-12
+                assert a.one_pe_parallel <= a.rotating_estimate + 1e-12
+
+    def test_self_has_higher_symbolic_efficiency(self, result):
+        rows, _ = result
+        for pre_row, self_row in zip(rows["preschedule"], rows["self"]):
+            assert (
+                self_row.analysis.symbolic_efficiency
+                >= pre_row.analysis.symbolic_efficiency
+            )
+
+
+class TestTable4:
+    def test_projection_shape(self, ctx):
+        rows, table = run_table4(ctx, problems=("SPE4",), target_nprocs=(8, 16, 32))
+        r = rows[0]
+        # Efficiencies decrease with processor count for both executors.
+        assert r.self_eff[8] >= r.self_eff[16] >= r.self_eff[32]
+        assert r.presched_eff[8] >= r.presched_eff[16] >= r.presched_eff[32]
+        assert "Best S.E." in table.render()
+
+    def test_self_advantage_persists_at_scale(self, ctx):
+        """Table 4's actionable content: self-execution dominates
+        pre-scheduling at every projected machine size, by a wide
+        margin.  (At these reduced problem sizes the zero-overhead
+        makespan is critical-path-bound at 32 processors, which caps
+        the *growth* of the disparity; the benchmark reruns this at
+        the paper's full sizes.)"""
+        rows, _ = run_table4(ctx, problems=("5-PT",), target_nprocs=(8, 16, 32))
+        r = rows[0]
+        for p in (8, 16, 32):
+            assert r.self_eff[p] > r.presched_eff[p]
+        assert r.self_eff[32] / r.presched_eff[32] > 2.0
+
+
+class TestTable5:
+    @pytest.fixture(scope="class")
+    def result(self, ctx):
+        return run_table5(ctx, workloads=("20-3-2", "20mesh"))
+
+    def test_local_overhead_smaller(self, result):
+        rows, _ = result
+        for r in rows:
+            assert r.local_overhead < r.global_overhead
+
+    def test_sort_cheaper_than_iteration(self, result):
+        """Paper: sequential scheduling slightly cheaper than one
+        sequential iteration of the loop."""
+        rows, _ = result
+        for r in rows:
+            assert r.seq_sort < r.seq_time
+
+    def test_run_times_same_ballpark(self, result):
+        """Paper: local vs global run times differ modestly under
+        self-execution (neither dominates catastrophically)."""
+        rows, _ = result
+        for r in rows:
+            assert 0.4 < r.global_run / r.local_run < 2.5
+
+
+class TestFigure12:
+    @pytest.fixture(scope="class")
+    def result(self, ctx):
+        return run_figure12(ctx, mesh=33, nprocs=(1, 2, 4, 6, 8, 12, 16))
+
+    def test_barrier_fluctuates_self_smooth(self, result):
+        """The headline of Section 5.1.4: barrier efficiency under local
+        ordering collapses and oscillates; self-execution stays healthy."""
+        points, _ = result
+        barrier = np.array([p.barrier_efficiency for p in points[1:]])
+        self_eff = np.array([p.self_efficiency for p in points[1:]])
+        assert self_eff.min() > 2.0 * barrier.min()
+        # Oscillation: barrier efficiency is non-monotone in p.
+        diffs = np.diff(barrier)
+        assert (diffs > 0).any() and (diffs < 0).any()
+
+    def test_self_declines_gently(self, result):
+        points, _ = result
+        self_eff = [p.self_efficiency for p in points]
+        assert self_eff[0] > self_eff[-1]
+        # ... but never collapses the way barriers do.
+        assert min(self_eff) > 0.3
+
+    def test_ascii_chart_renders(self, result):
+        points, _ = result
+        chart = render_ascii_chart(points)
+        assert "barrier" in chart and "self" in chart
+
+
+class TestFigure1:
+    def test_quadrant_shape(self, ctx):
+        cells, table = run_figure1(ctx, mesh=33, nprocs=(4, 8))
+        # Worst quadrant is local+preschedule (catastrophic degradation).
+        worst = min(cells.values(), key=lambda s: s.min_efficiency)
+        assert (worst.scheduler, worst.executor) == ("local", "preschedule")
+        # Self-executing cells both healthy.
+        assert cells[("local", "self")].min_efficiency > 0.3
+        assert cells[("global", "self")].min_efficiency > 0.3
+        # Local setup cheaper than global.
+        assert (
+            cells[("local", "self")].setup_cost
+            < cells[("global", "self")].setup_cost
+        )
+        quad = render_quadrant(cells)
+        assert "RECOMMENDED" in quad
+        assert "Pre-Scheduled" in table.title or table.rows
+
+
+class TestModelCheck:
+    def test_exact_agreement(self, ctx):
+        rows, table = run_model_check(ctx, cases=((24, 24, 6), (40, 13, 8)))
+        for r in rows:
+            assert r.max_error < 1e-9
+            # Ratio expressions agree within modeling slack.
+            assert abs(r.ratio_analytic - r.ratio_sim) / r.ratio_sim < 0.35
+        assert "E_ps model" in table.render()
+
+
+class TestAblations:
+    def test_barrier_sweep_monotone(self, ctx):
+        points, _ = run_barrier_sweep(ctx, mesh=25, factors=(0.0, 1.0, 4.0))
+        # More expensive barriers hurt pre-scheduling only.
+        assert points[0].presched_time < points[-1].presched_time
+        assert points[0].self_time == pytest.approx(points[-1].self_time)
+        # PS/SE ratio grows with barrier cost.
+        assert points[-1].ratio > points[0].ratio
+
+    def test_shared_sweep_hits_self_only(self, ctx):
+        points, _ = run_shared_cost_sweep(ctx, mesh=25, factors=(0.0, 4.0))
+        assert points[0].self_time < points[-1].self_time
+        assert points[0].presched_time == pytest.approx(points[-1].presched_time)
+
+    def test_balance_ablation_runs(self, ctx):
+        rows, table = run_balance_ablation(ctx, workloads=("20-3-2",))
+        assert len(rows) == 1
+        assert "Greedy" in table.render()

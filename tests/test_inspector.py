@@ -1,0 +1,99 @@
+"""Unit tests for the run-time inspector and its cost accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core.dependence import DependenceGraph
+from repro.core.inspector import Inspector
+from repro.errors import ValidationError
+from repro.machine.simulator import sequential_time
+from repro.machine.costs import MULTIMAX_320
+
+
+@pytest.fixture(scope="module")
+def inspector():
+    return Inspector()
+
+
+class TestDependencesOf:
+    def test_accepts_graph(self, inspector, small_lower_dep):
+        assert inspector.dependences_of(small_lower_dep) is small_lower_dep
+
+    def test_accepts_csr(self, inspector, small_lower):
+        dep = inspector.dependences_of(small_lower)
+        assert isinstance(dep, DependenceGraph)
+        assert dep.n == small_lower.nrows
+
+    def test_accepts_indirection(self, inspector):
+        dep = inspector.dependences_of(np.array([0, 0, 1]))
+        assert dep.n == 3
+
+    def test_accepts_nested_indirection(self, inspector):
+        dep = inspector.dependences_of(np.array([[0, 0], [0, 0], [1, 0]]))
+        assert list(dep.deps(2)) == [0, 1]
+
+    def test_rejects_3d(self, inspector):
+        with pytest.raises(ValidationError):
+            inspector.dependences_of(np.zeros((2, 2, 2)))
+
+
+class TestInspect:
+    @pytest.mark.parametrize("strategy", ["global", "local", "identity"])
+    def test_strategies_produce_valid_schedules(self, inspector, small_lower_dep, strategy):
+        res = inspector.inspect(small_lower_dep, 4, strategy=strategy)
+        res.schedule.validate()
+        assert res.strategy == strategy
+        assert res.num_wavefronts > 0
+
+    def test_blocked_assignment(self, inspector, small_lower_dep):
+        res = inspector.inspect(
+            small_lower_dep, 4, strategy="local", assignment="blocked",
+        )
+        # Blocked ownership: processor 0 owns a prefix.
+        assert np.all(np.diff(res.schedule.owner) >= 0)
+
+    def test_custom_owner(self, inspector, small_lower_dep):
+        owner = np.zeros(small_lower_dep.n, dtype=np.int64)
+        res = inspector.inspect(small_lower_dep, 2, strategy="local", owner=owner)
+        assert res.schedule.local_order[1].size == 0
+
+    def test_unknown_strategy(self, inspector, small_lower_dep):
+        with pytest.raises(ValidationError):
+            inspector.inspect(small_lower_dep, 4, strategy="nope")
+
+    def test_unknown_assignment(self, inspector, small_lower_dep):
+        with pytest.raises(ValidationError):
+            inspector.inspect(small_lower_dep, 4, assignment="nope")
+
+    def test_host_time_recorded(self, inspector, small_lower_dep):
+        res = inspector.inspect(small_lower_dep, 4)
+        assert res.host_seconds >= 0.0
+
+
+class TestInspectionCosts:
+    def test_local_cheaper_than_global(self, inspector, small_lower_dep):
+        """The headline of Table 5: local scheduling overhead is much
+        smaller than global scheduling overhead."""
+        res = inspector.inspect(small_lower_dep, 8, strategy="local")
+        assert res.costs.total_local < res.costs.total_global
+
+    def test_sort_cheaper_than_solve(self, inspector, mesh_lower):
+        """Paper: sequential sort + rearrange cost slightly less than
+        one sequential triangular solve."""
+        l, _ = mesh_lower
+        dep = DependenceGraph.from_lower_csr(l)
+        res = inspector.inspect(dep, 8)
+        solve_time = sequential_time(dep, MULTIMAX_320)
+        assert res.costs.seq_sort + res.costs.rearrange < solve_time
+
+    def test_parallel_sort_beats_sequential_on_irregular(self, inspector, small_workload):
+        dep = DependenceGraph.from_lower_csr(small_workload.matrix)
+        res = inspector.inspect(dep, 8)
+        assert res.costs.par_sort < res.costs.seq_sort * 1.9
+
+    def test_costs_positive(self, inspector, small_lower_dep):
+        res = inspector.inspect(small_lower_dep, 4)
+        assert res.costs.seq_sort > 0
+        assert res.costs.par_sort > 0
+        assert res.costs.rearrange > 0
+        assert res.costs.local_sort > 0

@@ -1,0 +1,71 @@
+"""Unit tests for vector kernels and flop counting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.sparse.build import csr_from_dense, identity
+from repro.sparse.ops import (
+    dot,
+    flop_count_dot,
+    flop_count_matvec,
+    flop_count_saxpy,
+    flop_count_solve,
+    matvec,
+    saxpy,
+)
+
+
+class TestSaxpy:
+    def test_basic(self):
+        np.testing.assert_allclose(
+            saxpy(2.0, np.array([1.0, 2.0]), np.array([10.0, 20.0])),
+            [12.0, 24.0],
+        )
+
+    def test_in_place(self):
+        y = np.array([1.0, 1.0])
+        res = saxpy(3.0, np.array([1.0, 2.0]), y, out=y)
+        assert res is y
+        np.testing.assert_allclose(y, [4.0, 7.0])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValidationError):
+            saxpy(1.0, np.ones(3), np.ones(4))
+
+
+class TestDot:
+    def test_basic(self):
+        assert dot(np.array([1.0, 2.0]), np.array([3.0, 4.0])) == 11.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValidationError):
+            dot(np.ones(2), np.ones(3))
+
+
+class TestMatvecWrapper:
+    def test_delegates(self):
+        a = identity(3)
+        np.testing.assert_allclose(matvec(a, np.arange(3.0)), np.arange(3.0))
+
+
+class TestFlopCounts:
+    def test_matvec(self):
+        a = identity(5)
+        assert flop_count_matvec(a) == 10
+
+    def test_solve_counts_divides(self):
+        dense = np.array([[2.0, 0.0], [1.0, 3.0]])
+        a = csr_from_dense(dense)
+        # one off-diagonal (2 flops) + two divides
+        assert flop_count_solve(a) == 4
+
+    def test_solve_unit_diagonal(self):
+        dense = np.array([[1.0, 0.0], [1.0, 1.0]])
+        a = csr_from_dense(dense)
+        assert flop_count_solve(a, unit_diagonal=True) == 2
+
+    def test_saxpy_and_dot(self):
+        assert flop_count_saxpy(10) == 20
+        assert flop_count_dot(10) == 19
+        assert flop_count_dot(0) == 0

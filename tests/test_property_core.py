@@ -1,0 +1,242 @@
+"""Property-based tests (hypothesis) for the core data structures.
+
+These pin the library's key invariants on *arbitrary* inputs:
+wavefront recurrence, schedule permutation, executor/oracle
+equivalence, simulator bounds, and CSR round-trips.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dependence import DependenceGraph
+from repro.core.executor import SerialExecutor, SimpleLoopKernel
+from repro.core.prescheduled import PreScheduledExecutor
+from repro.core.schedule import global_schedule, identity_schedule, local_schedule
+from repro.core.self_executing import SelfExecutingExecutor
+from repro.core.partition import blocked_partition, wrapped_partition
+from repro.core.wavefront import compute_wavefronts, wavefront_members
+from repro.machine.costs import ZERO_OVERHEAD, MULTIMAX_320
+from repro.machine.simulator import simulate, work_vector
+from repro.sparse.build import coo_to_csr, csr_from_dense
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+@st.composite
+def indirection_arrays(draw, max_n=60):
+    """An (x0, b, ia) triple defining a Figure 3 loop."""
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    ia = draw(
+        st.lists(st.integers(min_value=0, max_value=n - 1),
+                 min_size=n, max_size=n)
+    )
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(n), rng.standard_normal(n), np.array(ia)
+
+
+@st.composite
+def backward_dags(draw, max_n=50):
+    """A random backward-only dependence graph."""
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    edges = []
+    for i in range(1, n):
+        k = draw(st.integers(min_value=0, max_value=min(i, 3)))
+        if k:
+            deps = draw(
+                st.lists(st.integers(min_value=0, max_value=i - 1),
+                         min_size=k, max_size=k, unique=True)
+            )
+            edges.extend((i, j) for j in deps)
+    return DependenceGraph.from_edges(edges, n)
+
+
+@st.composite
+def sparse_dense_pairs(draw):
+    rows = draw(st.integers(min_value=1, max_value=12))
+    cols = draw(st.integers(min_value=1, max_value=12))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    dense = rng.standard_normal((rows, cols))
+    dense[np.abs(dense) < 0.8] = 0.0
+    return dense
+
+
+# ----------------------------------------------------------------------
+# CSR properties
+# ----------------------------------------------------------------------
+
+class TestCSRProperties:
+    @given(sparse_dense_pairs())
+    @settings(max_examples=50, deadline=None)
+    def test_dense_roundtrip(self, dense):
+        a = csr_from_dense(dense)
+        np.testing.assert_allclose(a.to_dense(), dense)
+
+    @given(sparse_dense_pairs(), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_matvec_matches_dense(self, dense, seed):
+        a = csr_from_dense(dense)
+        x = np.random.default_rng(seed).standard_normal(dense.shape[1])
+        np.testing.assert_allclose(a.matvec(x), dense @ x, rtol=1e-10, atol=1e-10)
+
+    @given(sparse_dense_pairs())
+    @settings(max_examples=50, deadline=None)
+    def test_transpose_involution(self, dense):
+        a = csr_from_dense(dense)
+        np.testing.assert_allclose(a.transpose().transpose().to_dense(), dense)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 7), st.integers(0, 7),
+                      st.floats(-5, 5, allow_nan=False)),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_coo_duplicate_summing(self, triples):
+        dense = np.zeros((8, 8))
+        for r, c, v in triples:
+            dense[r, c] += v
+        rows = [t[0] for t in triples]
+        cols = [t[1] for t in triples]
+        vals = [t[2] for t in triples]
+        a = coo_to_csr(rows, cols, vals, (8, 8))
+        np.testing.assert_allclose(a.to_dense(), dense, atol=1e-12)
+
+
+# ----------------------------------------------------------------------
+# Wavefront properties
+# ----------------------------------------------------------------------
+
+class TestWavefrontProperties:
+    @given(backward_dags())
+    @settings(max_examples=60, deadline=None)
+    def test_recurrence_invariant(self, dep):
+        wf = compute_wavefronts(dep)
+        for i in range(dep.n):
+            deps = dep.deps(i)
+            expected = wf[deps].max() + 1 if deps.size else 0
+            assert wf[i] == expected
+
+    @given(backward_dags())
+    @settings(max_examples=60, deadline=None)
+    def test_members_partition_and_independent(self, dep):
+        wf = compute_wavefronts(dep)
+        members = wavefront_members(wf)
+        flat = np.concatenate(members)
+        assert sorted(flat.tolist()) == list(range(dep.n))
+        # no dependence stays within one wavefront
+        for m in members:
+            mset = set(m.tolist())
+            for i in m:
+                assert not (set(dep.deps(int(i)).tolist()) & mset)
+
+
+# ----------------------------------------------------------------------
+# Schedule properties
+# ----------------------------------------------------------------------
+
+class TestScheduleProperties:
+    @given(backward_dags(), st.integers(min_value=1, max_value=8))
+    @settings(max_examples=60, deadline=None)
+    def test_global_schedule_is_permutation(self, dep, p):
+        wf = compute_wavefronts(dep)
+        sched = global_schedule(wf, p)
+        flat = sorted(np.concatenate(sched.local_order).tolist())
+        assert flat == list(range(dep.n))
+
+    @given(backward_dags(), st.integers(min_value=1, max_value=8),
+           st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_all_schedules_legal_for_self_execution(self, dep, p, blocked):
+        wf = compute_wavefronts(dep)
+        owner = (blocked_partition if blocked else wrapped_partition)(dep.n, p)
+        for sched in (
+            global_schedule(wf, p),
+            local_schedule(wf, owner, p),
+            identity_schedule(wf, p, owner=owner),
+        ):
+            assert sched.is_legal_self_executing(dep)
+
+
+# ----------------------------------------------------------------------
+# Executor equivalence
+# ----------------------------------------------------------------------
+
+class TestExecutorEquivalence:
+    @given(indirection_arrays(), st.integers(min_value=1, max_value=6))
+    @settings(max_examples=40, deadline=None)
+    def test_self_executing_matches_oracle(self, arrays, p):
+        x0, b, ia = arrays
+        kernel = SimpleLoopKernel(x0, b, ia)
+        dep = kernel.dependence_graph()
+        oracle = SerialExecutor().run(SimpleLoopKernel(x0, b, ia))
+        wf = compute_wavefronts(dep)
+        out = SelfExecutingExecutor(global_schedule(wf, p), dep).run(
+            SimpleLoopKernel(x0, b, ia)
+        )
+        np.testing.assert_allclose(out, oracle, rtol=1e-12, atol=1e-12)
+
+    @given(indirection_arrays(), st.integers(min_value=1, max_value=6))
+    @settings(max_examples=40, deadline=None)
+    def test_prescheduled_matches_oracle(self, arrays, p):
+        x0, b, ia = arrays
+        kernel = SimpleLoopKernel(x0, b, ia)
+        dep = kernel.dependence_graph()
+        oracle = SerialExecutor().run(SimpleLoopKernel(x0, b, ia))
+        wf = compute_wavefronts(dep)
+        out = PreScheduledExecutor(global_schedule(wf, p), dep).run(
+            SimpleLoopKernel(x0, b, ia)
+        )
+        np.testing.assert_allclose(out, oracle, rtol=1e-12, atol=1e-12)
+
+
+# ----------------------------------------------------------------------
+# Simulator properties
+# ----------------------------------------------------------------------
+
+class TestSimulatorProperties:
+    @given(backward_dags(), st.integers(min_value=1, max_value=8))
+    @settings(max_examples=40, deadline=None)
+    def test_makespan_bounds(self, dep, p):
+        wf = compute_wavefronts(dep)
+        sched = global_schedule(wf, p)
+        for mode in ("preschedule", "self"):
+            sim = simulate(sched, dep, ZERO_OVERHEAD, mode=mode)
+            w = work_vector(dep, ZERO_OVERHEAD, mode, p)
+            assert sim.total_time >= w.sum() / p - 1e-9
+            assert sim.total_time <= w.sum() + 1e-9
+
+    @given(backward_dags(), st.integers(min_value=1, max_value=8))
+    @settings(max_examples=40, deadline=None)
+    def test_self_no_worse_than_preschedule_zero_overhead(self, dep, p):
+        wf = compute_wavefronts(dep)
+        sched = global_schedule(wf, p)
+        pre = simulate(sched, dep, ZERO_OVERHEAD, mode="preschedule")
+        slf = simulate(sched, dep, ZERO_OVERHEAD, mode="self")
+        assert slf.total_time <= pre.total_time + 1e-9
+
+    @given(backward_dags(), st.integers(min_value=1, max_value=8))
+    @settings(max_examples=40, deadline=None)
+    def test_efficiency_in_unit_interval(self, dep, p):
+        wf = compute_wavefronts(dep)
+        sched = global_schedule(wf, p)
+        sim = simulate(sched, dep, MULTIMAX_320, mode="self")
+        assert 0.0 < sim.efficiency <= 1.0 + 1e-9
+
+    @given(backward_dags())
+    @settings(max_examples=40, deadline=None)
+    def test_finish_respects_dependences(self, dep):
+        wf = compute_wavefronts(dep)
+        sched = global_schedule(wf, 4)
+        from repro.machine.simulator import simulate_self_executing
+        sim = simulate_self_executing(
+            sched, dep, MULTIMAX_320, keep_finish_times=True,
+        )
+        for i in range(dep.n):
+            deps = dep.deps(i)
+            if deps.size:
+                assert sim.finish[i] > sim.finish[deps].max() - 1e-9

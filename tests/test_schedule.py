@@ -1,0 +1,212 @@
+"""Unit tests for partitions and schedules."""
+
+import numpy as np
+import pytest
+
+from repro.core.dependence import DependenceGraph
+from repro.core.partition import (
+    blocked_partition,
+    owner_from_assignment,
+    partition_counts,
+    wrapped_partition,
+)
+from repro.core.schedule import (
+    Schedule,
+    global_schedule,
+    identity_schedule,
+    local_schedule,
+)
+from repro.core.wavefront import compute_wavefronts
+from repro.errors import ScheduleError, ValidationError
+
+
+class TestPartitions:
+    def test_wrapped(self):
+        np.testing.assert_array_equal(wrapped_partition(7, 3), [0, 1, 2, 0, 1, 2, 0])
+
+    def test_blocked_even(self):
+        np.testing.assert_array_equal(blocked_partition(6, 3), [0, 0, 1, 1, 2, 2])
+
+    def test_blocked_remainder_goes_first(self):
+        np.testing.assert_array_equal(blocked_partition(7, 3), [0, 0, 0, 1, 1, 2, 2])
+
+    def test_counts(self):
+        owner = wrapped_partition(10, 4)
+        np.testing.assert_array_equal(partition_counts(owner, 4), [3, 3, 2, 2])
+
+    def test_owner_validation(self):
+        with pytest.raises(ValidationError):
+            owner_from_assignment([0, 5], 3)
+        with pytest.raises(ValidationError):
+            owner_from_assignment([[0, 1]], 2)
+
+    def test_more_procs_than_indices(self):
+        owner = wrapped_partition(2, 8)
+        assert owner.max() < 8
+
+
+@pytest.fixture(scope="module")
+def chain_case():
+    """A simple diamond DAG with known wavefronts."""
+    dep = DependenceGraph.from_edges(
+        [(1, 0), (2, 0), (3, 1), (3, 2), (4, 3), (5, 3)], 6
+    )
+    wf = compute_wavefronts(dep)
+    return dep, wf
+
+
+class TestGlobalSchedule:
+    def test_is_permutation(self, chain_case):
+        _, wf = chain_case
+        sched = global_schedule(wf, 2)
+        flat = sorted(np.concatenate(sched.local_order).tolist())
+        assert flat == list(range(6))
+
+    def test_wrapped_dealing(self, chain_case):
+        _, wf = chain_case
+        # sorted by (wf, idx): 0 | 1 2 | 3 | 4 5 -> deal 0,1,2,3,4,5 round-robin
+        sched = global_schedule(wf, 2)
+        assert list(sched.local_order[0]) == [0, 2, 4]
+        assert list(sched.local_order[1]) == [1, 3, 5]
+
+    def test_local_lists_sorted_by_wavefront(self, small_lower_dep):
+        wf = compute_wavefronts(small_lower_dep)
+        sched = global_schedule(wf, 5)
+        for lst in sched.local_order:
+            assert np.all(np.diff(wf[lst]) >= 0)
+
+    def test_wavefront_balance(self, small_lower_dep):
+        """Each wavefront's indices spread evenly (max-min <= 1)."""
+        wf = compute_wavefronts(small_lower_dep)
+        p = 4
+        sched = global_schedule(wf, p)
+        for w in range(int(wf.max()) + 1):
+            members = np.nonzero(wf == w)[0]
+            counts = np.bincount(sched.owner[members], minlength=p)
+            assert counts.max() - counts.min() <= 1
+
+    def test_greedy_balance_with_weights(self, small_lower_dep):
+        wf = compute_wavefronts(small_lower_dep)
+        weights = 1.0 + small_lower_dep.dep_counts().astype(float)
+        sched = global_schedule(wf, 3, weights=weights, balance="greedy")
+        sched.validate()
+
+    def test_unknown_balance(self, chain_case):
+        _, wf = chain_case
+        with pytest.raises(ValidationError):
+            global_schedule(wf, 2, balance="nope")
+
+
+class TestLocalSchedule:
+    def test_preserves_owner(self, small_lower_dep):
+        wf = compute_wavefronts(small_lower_dep)
+        owner = wrapped_partition(small_lower_dep.n, 4)
+        sched = local_schedule(wf, owner, 4)
+        np.testing.assert_array_equal(sched.owner, owner)
+
+    def test_sorts_locally(self, small_lower_dep):
+        wf = compute_wavefronts(small_lower_dep)
+        owner = wrapped_partition(small_lower_dep.n, 4)
+        sched = local_schedule(wf, owner, 4)
+        for lst in sched.local_order:
+            assert np.all(np.diff(wf[lst]) >= 0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            local_schedule(np.zeros(5, dtype=np.int64), np.zeros(4, dtype=np.int64), 2)
+
+
+class TestIdentitySchedule:
+    def test_original_order(self, chain_case):
+        _, wf = chain_case
+        sched = identity_schedule(wf, 2)
+        assert list(sched.local_order[0]) == [0, 2, 4]
+        assert list(sched.local_order[1]) == [1, 3, 5]
+        assert sched.strategy == "identity"
+
+    def test_custom_owner(self, chain_case):
+        _, wf = chain_case
+        sched = identity_schedule(wf, 2, owner=[0, 0, 0, 1, 1, 1])
+        assert list(sched.local_order[0]) == [0, 1, 2]
+
+
+class TestScheduleValidation:
+    def test_index_on_two_processors(self, chain_case):
+        _, wf = chain_case
+        with pytest.raises(ScheduleError):
+            Schedule(
+                nproc=2,
+                owner=np.array([0, 0, 0, 0, 0, 0]),
+                local_order=[np.arange(6), np.array([0])],
+                wavefronts=wf,
+            )
+
+    def test_missing_index(self, chain_case):
+        _, wf = chain_case
+        with pytest.raises(ScheduleError):
+            Schedule(
+                nproc=2,
+                owner=np.array([0, 0, 0, 1, 1, 1]),
+                local_order=[np.array([0, 1]), np.array([3, 4, 5])],
+                wavefronts=wf,
+            )
+
+    def test_owner_list_mismatch(self, chain_case):
+        _, wf = chain_case
+        with pytest.raises(ScheduleError):
+            Schedule(
+                nproc=2,
+                owner=np.array([0, 0, 0, 1, 1, 1]),
+                local_order=[np.arange(6), np.array([], dtype=np.int64)],
+                wavefronts=wf,
+            )
+
+
+class TestScheduleQueries:
+    def test_position(self, chain_case):
+        _, wf = chain_case
+        sched = global_schedule(wf, 2)
+        pos = sched.position()
+        for lst in sched.local_order:
+            np.testing.assert_array_equal(pos[lst], np.arange(lst.size))
+
+    def test_phases_partition(self, small_lower_dep):
+        wf = compute_wavefronts(small_lower_dep)
+        sched = global_schedule(wf, 4)
+        phases = sched.phases()
+        total = sum(lst.size for phase in phases for lst in phase)
+        assert total == small_lower_dep.n
+        for w, phase in enumerate(phases):
+            for lst in phase:
+                assert np.all(wf[lst] == w)
+
+    def test_phases_reject_unsorted(self, chain_case):
+        dep, wf = chain_case
+        sched = identity_schedule(wf, 1, owner=np.zeros(6, dtype=np.int64))
+        # Force an unsorted-by-wavefront list.
+        sched.local_order[0] = np.array([3, 0, 1, 2, 4, 5])
+        with pytest.raises(ScheduleError):
+            sched.phases()
+
+    def test_work_per_processor(self, chain_case):
+        _, wf = chain_case
+        sched = global_schedule(wf, 2)
+        np.testing.assert_array_equal(sched.work_per_processor(), [3.0, 3.0])
+        weighted = sched.work_per_processor(np.arange(6, dtype=float))
+        assert weighted.sum() == 15.0
+
+    def test_legal_self_executing(self, chain_case):
+        dep, wf = chain_case
+        assert global_schedule(wf, 2).is_legal_self_executing(dep)
+        assert identity_schedule(wf, 2).is_legal_self_executing(dep)
+
+    def test_illegal_self_executing(self, chain_case):
+        dep, wf = chain_case
+        sched = identity_schedule(wf, 1, owner=np.zeros(6, dtype=np.int64))
+        sched.local_order[0] = np.array([3, 0, 1, 2, 4, 5])  # 3 before its deps
+        assert not sched.is_legal_self_executing(dep)
+
+    def test_flattened(self, chain_case):
+        _, wf = chain_case
+        sched = global_schedule(wf, 2)
+        assert sorted(sched.flattened().tolist()) == list(range(6))

