@@ -1,0 +1,141 @@
+"""Benchmark: the ScheduleCache amortisation curve (Table-5-style).
+
+The paper's economics: inspection pays off only when amortised over
+many executions (one PCGPAK topological sort serves all Krylov
+iterations).  This benchmark makes the cross-*compile* amortisation
+measurable on the Figure 3 workload:
+
+* **cold compile** — wavefront sweep + scheduling + Table 5 cost
+  pricing, every time;
+* **cache-hit compile** — a structural hash lookup; asserted ≥ 10×
+  faster than cold inspection;
+* **amortisation curve** — total cost of k executions under
+  re-inspect-every-time vs compile-once, the run-time analogue of
+  Table 5's sort-vs-iteration comparison.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.runtime import Runtime, ScheduleCache
+from repro.util.tables import TextTable
+
+#: Figure 3 loop size (indirection array length).
+N = 20_000
+NPROC = 16
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(1989)
+    return rng.integers(0, N, size=N)
+
+
+def _time(fn, repeats=5):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_cache_hit_beats_cold_inspection(workload, save_table):
+    """Acceptance: cache-hit compile ≥ 10× faster than cold inspect."""
+    ia = workload
+
+    def cold_compile():
+        # Fresh session each time: every compile re-inspects.
+        return Runtime(nproc=NPROC, cache=None).compile(ia)
+
+    warm_rt = Runtime(nproc=NPROC, cache=8)
+    warm_rt.compile(ia)  # populate
+
+    t_cold = _time(cold_compile)
+    t_hit = _time(lambda: warm_rt.compile(ia))
+    assert warm_rt.cache_stats.hits >= 5
+    speedup = t_cold / t_hit
+
+    table = TextTable(
+        headers=["Path", "host ms", "speedup"],
+        formats=[None, ".3f", ".1f"],
+        title=f"ScheduleCache: cold vs hit compile (Figure 3 loop, "
+              f"n={N}, {NPROC} processors)",
+    )
+    table.add_row("cold inspect + schedule", t_cold * 1000, 1.0)
+    table.add_row("cache-hit compile", t_hit * 1000, speedup)
+    print()
+    print(table.render())
+    save_table("cache_cold_vs_hit", table.render())
+
+    assert speedup >= 10.0, f"cache hit only {speedup:.1f}x faster"
+
+
+def test_amortisation_curve(workload, save_table):
+    """Cost of k executions: re-inspect every call vs compile once."""
+    ia = workload
+    ks = (1, 2, 4, 8, 16, 32)
+
+    t_cold = _time(lambda: Runtime(nproc=NPROC, cache=None).compile(ia))
+    rt = Runtime(nproc=NPROC, cache=8)
+    loop = rt.compile(ia)
+    t_hit = _time(lambda: rt.compile(ia))
+    t_exec = _time(lambda: loop.simulate())
+
+    table = TextTable(
+        headers=["k execs", "re-inspect (ms)", "cached (ms)", "saving"],
+        formats=["d", ".2f", ".2f", ".2f"],
+        title="Amortisation over k executions (host ms; simulate-only "
+              "executions)",
+    )
+    for k in ks:
+        every = (t_cold + t_exec) * k
+        once = t_cold + (t_hit + t_exec) * k
+        table.add_row(k, every * 1000, once * 1000, every / once)
+    print()
+    print(table.render())
+    save_table("cache_amortisation", table.render())
+
+    # With ≥2 executions the compile-once path must win.
+    every2 = (t_cold + t_exec) * 2
+    once2 = t_cold + (t_hit + t_exec) * 2
+    assert once2 < every2
+
+
+def test_persistence_warm_start(workload, tmp_path, save_table):
+    """Cross-run amortisation: a fresh session warm-starts from .npz."""
+    ia = workload
+    rt1 = Runtime(nproc=NPROC, cache=8, cache_dir=tmp_path)
+    t_first = _time(lambda: rt1.compile(ia), repeats=1)
+
+    def fresh_session_compile():
+        rt = Runtime(nproc=NPROC, cache=8, cache_dir=tmp_path)
+        loop = rt.compile(ia)
+        assert loop.cache_hit
+        return loop
+
+    t_warm = _time(fresh_session_compile)
+    table = TextTable(
+        headers=["Path", "host ms"],
+        formats=[None, ".3f"],
+        title="Cross-run warm start (.npz persistence)",
+    )
+    table.add_row("first-ever compile (cold + store)", t_first * 1000)
+    table.add_row("fresh session, disk warm start", t_warm * 1000)
+    print()
+    print(table.render())
+    save_table("cache_persistence", table.render())
+
+    # Disk load must at least skip the inspector's pricing pass.
+    assert t_warm < t_first
+
+
+def test_bench_cache_hit(benchmark, workload):
+    """pytest-benchmark statistics for the hit path itself."""
+    ia = workload
+    rt = Runtime(nproc=NPROC, cache=8)
+    rt.compile(ia)
+    loop = benchmark(lambda: rt.compile(ia))
+    assert loop.cache_hit

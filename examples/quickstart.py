@@ -2,11 +2,14 @@
 
 The loop below (Figure 3 of the paper) cannot be parallelized at
 compile time — iteration ``i`` reads ``x[ia[i]]``, and ``ia`` is data.
-This script shows the two ways the library handles it:
+This script shows the three ways the library handles it:
 
-1. the ``doconsider`` API — hand over the dependence source, get back a
-   schedule, an executor, and simulated machine timings;
-2. the automated source transformer — generate the inspector and the
+1. the ``Runtime`` API — open a session, ``compile()`` the dependence
+   data into a reusable loop, execute on any backend, and watch the
+   schedule cache amortise the inspection across compiles;
+2. pluggable strategies — register a custom partitioner and use it by
+   name, without touching library code;
+3. the automated source transformer — generate the inspector and the
    Figure 4/5 executors directly from the loop's source code.
 
 Run:  python examples/quickstart.py
@@ -14,7 +17,7 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro import doconsider, parallelize_source
+from repro import Runtime, parallelize_source, register_partitioner
 from repro.core import SimpleLoopKernel
 
 rng = np.random.default_rng(2024)
@@ -26,35 +29,57 @@ ia = rng.integers(0, n, size=n)  # run-time dependence data
 
 def main() -> None:
     # ------------------------------------------------------------------
-    # 1. The doconsider construct
+    # 1. The Runtime session
     # ------------------------------------------------------------------
-    kernel = SimpleLoopKernel(x0, b, ia)
-    out = doconsider(
-        kernel,
-        deps=ia,            # the inspector reads the indirection array
-        nproc=16,           # simulated processors
-        executor="self",    # Figure 1's recommendation
+    rt = Runtime(nproc=16)            # simulated processors, serial backend
+    loop = rt.compile(
+        ia,                           # the inspector reads the indirection array
+        executor="self",              # Figure 1's recommendation
         scheduler="local",
     )
-    print("doconsider: x[:4] =", np.round(out.x[:4], 4))
+    out = loop(SimpleLoopKernel(x0, b, ia))
+    print("runtime: x[:4] =", np.round(out.x[:4], 4))
     print(f"  wavefronts          : {out.inspection.num_wavefronts}")
     print(f"  simulated time      : {out.sim.total_time / 1000:.2f} model-ms")
     print(f"  parallel efficiency : {out.sim.efficiency:.3f}")
-    print(f"  inspection cost     : {out.inspection.costs.total_local / 1000:.2f} model-ms"
+    print(f"  inspection cost     : {out.inspect_cost / 1000:.2f} model-ms"
           " (amortised across executions)")
 
-    # Compare executors on the same loop.
+    # Recompiling the same structure hits the schedule cache — the
+    # PCGPAK pattern: one topological sort, many executions.
+    again = rt.compile(ia, executor="self", scheduler="local")
+    print(f"  recompile cache hit : {again.cache_hit} "
+          f"(stats: {rt.cache_stats.hits} hits / "
+          f"{rt.cache_stats.misses} misses)")
+
+    # Compare executors on the same loop; the same RunReport shape
+    # comes back whatever the executor or backend.
     print("\nexecutor comparison (same loop, 16 processors):")
     for executor in ("self", "preschedule", "doacross"):
-        res = doconsider(
-            SimpleLoopKernel(x0, b, ia), deps=ia, nproc=16,
-            executor=executor, scheduler="global",
+        res = rt.compile(ia, executor=executor, scheduler="global")(
+            SimpleLoopKernel(x0, b, ia)
         )
         print(f"  {executor:<12} {res.sim.total_time / 1000:8.2f} model-ms   "
               f"efficiency {res.sim.efficiency:.3f}")
 
     # ------------------------------------------------------------------
-    # 2. The automated transformation (Section 2.2)
+    # 2. Pluggable strategies: register, then use by name
+    # ------------------------------------------------------------------
+    @register_partitioner("even-odd")
+    def even_odd(n, nproc):
+        """Even indices first, dealt round-robin, then odd ones."""
+        order = np.argsort(np.arange(n) % 2, kind="stable")
+        owner = np.empty(n, dtype=np.int64)
+        owner[order] = np.arange(n) % nproc
+        return owner
+
+    custom = rt.compile(ia, scheduler="local", assignment="even-odd")
+    res = custom(SimpleLoopKernel(x0, b, ia))
+    print(f"\ncustom 'even-odd' assignment: efficiency {res.sim.efficiency:.3f}"
+          f" (matches: {np.allclose(res.x, out.x)})")
+
+    # ------------------------------------------------------------------
+    # 3. The automated transformation (Section 2.2)
     # ------------------------------------------------------------------
     loop = parallelize_source(
         """

@@ -11,12 +11,9 @@ Run:  python examples/sparse_triangular_solve.py
 
 import numpy as np
 
+from repro import Runtime
 from repro.core import (
     DependenceGraph,
-    DoacrossExecutor,
-    Inspector,
-    PreScheduledExecutor,
-    SelfExecutingExecutor,
     TriangularSolveKernel,
     compute_wavefronts,
     wavefront_counts,
@@ -42,24 +39,30 @@ def main() -> None:
     print(f"\nwavefront profile: {len(counts)} phases, "
           f"width min/median/max = {counts.min()}/{int(np.median(counts))}/{counts.max()}")
 
-    # Inspect once (amortised), then execute with each executor.
-    inspector = Inspector()
-    insp = inspector.inspect(dep, NPROC, strategy="global")
+    # Compile once per executor (the cache shares the inspection), then
+    # execute; all executors return the same RunReport shape.
+    rt = Runtime(nproc=NPROC)
     b = np.linspace(0.0, 1.0, l.nrows)
     oracle = ilu.lower_solver.solve(b)
 
     print(f"\n{'executor':<14} {'model-ms':>9} {'efficiency':>11}  numerics")
-    executors = {
-        "self": SelfExecutingExecutor(insp.schedule, dep),
-        "preschedule": PreScheduledExecutor(insp.schedule, dep),
-        "doacross": DoacrossExecutor(dep, NPROC),
-    }
-    for name, ex in executors.items():
-        x = ex.run(TriangularSolveKernel(l, b, unit_diagonal=True))
-        sim = ex.simulate()
-        ok = np.allclose(x, oracle)
-        print(f"{name:<14} {sim.total_time / 1000:9.2f} {sim.efficiency:11.3f}"
-              f"  match={ok}")
+    for name in ("self", "preschedule", "doacross"):
+        loop = rt.compile(dep, executor=name, scheduler="global")
+        rep = loop(TriangularSolveKernel(l, b, unit_diagonal=True))
+        ok = np.allclose(rep.x, oracle)
+        print(f"{name:<14} {rep.sim.total_time / 1000:9.2f} "
+              f"{rep.sim.efficiency:11.3f}  match={ok}")
+
+    # The same compiled loop runs on every execution backend — serial
+    # replay, real threads, real OS processes over shared memory.
+    loop = rt.compile(dep, executor="self", scheduler="global")
+    print("\nbackend comparison (self-executing, identical schedule):")
+    for backend in ("serial", "sim", "threads", "processes"):
+        kernel = TriangularSolveKernel(l, b, unit_diagonal=True)
+        rep = loop(kernel, backend=backend)
+        ok = "n/a (timing only)" if rep.x is None else str(np.allclose(rep.x, oracle))
+        print(f"  {backend:<11} host {rep.host_seconds * 1000:8.1f} ms   "
+              f"match={ok}")
 
     # The Tables 2/3 estimation chain for this solve.
     print("\naccounting (Table 2/3 chain, model-ms):")

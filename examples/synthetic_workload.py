@@ -10,14 +10,14 @@ Run:  python examples/synthetic_workload.py
 
 import numpy as np
 
-from repro.core import DependenceGraph, Inspector, compute_wavefronts
-from repro.machine import MULTIMAX_320, simulate
+from repro import Runtime, ScheduleCache
+from repro.core import DependenceGraph, compute_wavefronts
 from repro.workload import generate_workload
 
 NPROC = 16
 
 
-def describe(name: str) -> None:
+def describe(name: str, rt: Runtime) -> None:
     wl = generate_workload(name)
     dep = DependenceGraph.from_lower_csr(wl.matrix)
     wf = compute_wavefronts(dep)
@@ -27,36 +27,41 @@ def describe(name: str) -> None:
     print(f"  in-degree mean/max      : {deg.mean():.2f} / {deg.max()}")
     print(f"  wavefronts (phases)     : {wf.max() + 1}")
 
-    inspector = Inspector()
-    res_g = inspector.inspect(dep, NPROC, strategy="global")
-    res_l = inspector.inspect(dep, NPROC, strategy="local")
-    sim_g = simulate(res_g.schedule, dep, MULTIMAX_320, mode="self")
-    sim_l = simulate(res_l.schedule, dep, MULTIMAX_320, mode="self")
+    loop_g = rt.compile(dep, executor="self", scheduler="global")
+    loop_l = rt.compile(dep, executor="self", scheduler="local")
+    sim_g, sim_l = loop_g.simulate(), loop_l.simulate()
+    res_g, res_l = loop_g.inspection, loop_l.inspection
     print(f"  global: setup {res_g.costs.total_global / 1000:6.1f} model-ms, "
           f"run {sim_g.total_time / 1000:6.1f}, eff {sim_g.efficiency:.3f}")
     print(f"  local : setup {res_l.costs.total_local / 1000:6.1f} model-ms, "
           f"run {sim_l.total_time / 1000:6.1f}, eff {sim_l.efficiency:.3f}")
 
 
-def synchronization_sweep(name: str) -> None:
+def synchronization_sweep(name: str, cache: ScheduleCache) -> None:
     """Figure 12's experiment on a synthetic workload."""
     wl = generate_workload(name)
     dep = DependenceGraph.from_lower_csr(wl.matrix)
-    inspector = Inspector()
     print(f"\nbarrier vs self-execution on {name} "
           "(striped assignment, local sort only):")
     print(f"{'p':>4} {'barrier eff':>12} {'self eff':>10}")
     for p in (2, 4, 8, 12, 16):
-        res = inspector.inspect(dep, p, strategy="local")
-        pre = simulate(res.schedule, dep, MULTIMAX_320, mode="preschedule")
-        slf = simulate(res.schedule, dep, MULTIMAX_320, mode="self")
-        print(f"{p:>4} {pre.efficiency:>12.3f} {slf.efficiency:>10.3f}")
+        rt = Runtime(nproc=p, cache=cache)
+        pre = rt.compile(dep, executor="preschedule", scheduler="local")
+        slf = rt.compile(dep, executor="self", scheduler="local")
+        print(f"{p:>4} {pre.simulate().efficiency:>12.3f} "
+              f"{slf.simulate().efficiency:>10.3f}")
 
 
 def main() -> None:
+    # One session; the sweep shares its cache so the self-executing
+    # compiles reuse the barrier compiles' inspections.
+    rt = Runtime(nproc=NPROC)
     for name in ("65-4-1.5", "65-4-3", "65mesh"):
-        describe(name)
-    synchronization_sweep("65-4-3")
+        describe(name, rt)
+    cache = ScheduleCache(maxsize=16)
+    synchronization_sweep("65-4-3", cache)
+    print(f"\nschedule cache: {cache.stats.hits} hits, "
+          f"{cache.stats.misses} misses across the sweep")
 
 
 if __name__ == "__main__":

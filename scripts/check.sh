@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Repo check: byte-compile the library, then run the tier-1 test suite.
+#
+# Usage:  scripts/check.sh [extra pytest args]
+#
+# Exits non-zero on the first failure of either step.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== compileall: src =="
+python -m compileall -q src
+
+echo "== tier-1 tests =="
+python -m pytest -x -q "$@"

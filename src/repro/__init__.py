@@ -11,13 +11,17 @@ shared-memory multiprocessor, a parallel preconditioned Krylov solver
 Quick start
 -----------
 >>> import numpy as np
->>> from repro import doconsider
+>>> from repro import Runtime
 >>> from repro.core import SimpleLoopKernel
 >>> ia = np.array([0, 0, 1, 2, 1, 4])
 >>> kernel = SimpleLoopKernel(np.ones(6), 0.5 * np.ones(6), ia)
->>> out = doconsider(kernel, deps=ia, nproc=4)
+>>> rt = Runtime(nproc=4)
+>>> out = rt.compile(ia)(kernel)
 >>> round(float(out.sim.efficiency), 3) <= 1.0
 True
+
+(The legacy ``doconsider`` construct remains available as a thin shim
+over the runtime.)
 
 See ``examples/`` for full walkthroughs and ``benchmarks/`` for the
 table/figure reproductions.
@@ -36,10 +40,28 @@ from .core.doconsider import doconsider, DoconsiderLoop, DoconsiderResult
 from .core.transform import parallelize, parallelize_source, ParallelizedLoop
 from .core.inspector import Inspector, InspectionResult
 from .machine.costs import MachineCosts, MULTIMAX_320
+from .runtime import (
+    Runtime,
+    CompiledLoop,
+    RunReport,
+    ScheduleCache,
+    register_executor,
+    register_scheduler,
+    register_partitioner,
+    register_backend,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "Runtime",
+    "CompiledLoop",
+    "RunReport",
+    "ScheduleCache",
+    "register_executor",
+    "register_scheduler",
+    "register_partitioner",
+    "register_backend",
     "ReproError",
     "ValidationError",
     "StructureError",

@@ -23,7 +23,12 @@ and 3 of the paper:
 
 from .dependence import DependenceGraph
 from .wavefront import compute_wavefronts, wavefront_counts, wavefront_members
-from .partition import wrapped_partition, blocked_partition, owner_from_assignment
+from .partition import (
+    wrapped_partition,
+    blocked_partition,
+    chunked_partition,
+    owner_from_assignment,
+)
 from .schedule import (
     Schedule,
     global_schedule,
@@ -54,6 +59,7 @@ __all__ = [
     "wavefront_members",
     "wrapped_partition",
     "blocked_partition",
+    "chunked_partition",
     "owner_from_assignment",
     "Schedule",
     "global_schedule",

@@ -16,11 +16,25 @@ import numpy as np
 from ..machine.costs import MachineCosts, MULTIMAX_320
 from ..machine.simulator import SimResult, simulate_self_executing
 from ..machine.threads import ThreadedMachine
+from ..runtime.registry import register_executor
 from .dependence import DependenceGraph
 from .executor import LoopKernel
 from .schedule import Schedule, identity_schedule
 
 __all__ = ["DoacrossExecutor"]
+
+
+@register_executor("doacross", scheduler_override="identity")
+def _build_doacross(inspection, nproc, costs):
+    """Registry factory: the no-reordering baseline.
+
+    ``scheduler_override="identity"`` tells the runtime that whatever
+    scheduler was requested, a doacross loop runs the identity
+    schedule — the defining property of the baseline.
+    """
+    return DoacrossExecutor(
+        inspection.dep, nproc, costs, wavefronts=inspection.wavefronts,
+    )
 
 
 class DoacrossExecutor:

@@ -1,5 +1,17 @@
 """The ``doconsider`` construct — the paper's user-facing API.
 
+.. note::
+   **Legacy shim.**  ``doconsider`` and :class:`DoconsiderLoop` are
+   kept for compatibility and delegate to the canonical
+   :class:`repro.runtime.Runtime` /
+   :class:`~repro.runtime.session.CompiledLoop` API, which adds
+   pluggable strategy registries, unified execution backends and a
+   schedule cache.  New code should use ``repro.runtime`` directly::
+
+       rt = Runtime(nproc=2)
+       loop = rt.compile(ia, executor="self", scheduler="local")
+       report = loop(kernel)
+
 A ``doconsider`` loop is one whose iterations *may* be profitably
 reordered subject to run-time dependences.  In the paper this is a
 language annotation handled by the compiler; here it is a function /
@@ -33,11 +45,13 @@ import numpy as np
 from ..errors import ValidationError
 from ..machine.costs import MachineCosts, MULTIMAX_320
 from ..machine.simulator import SimResult
-from .doacross import DoacrossExecutor
+from ..runtime.registry import (
+    executor_registry,
+    partitioner_registry,
+    scheduler_registry,
+)
 from .executor import GenericLoopKernel, LoopKernel
-from .inspector import InspectionResult, Inspector
-from .prescheduled import PreScheduledExecutor
-from .self_executing import SelfExecutingExecutor
+from .inspector import InspectionResult
 
 __all__ = ["doconsider", "DoconsiderLoop", "DoconsiderResult"]
 
@@ -57,6 +71,11 @@ class DoconsiderResult:
 class DoconsiderLoop:
     """A reorderable loop with its inspection amortised across runs.
 
+    Thin wrapper over :meth:`repro.runtime.Runtime.compile`; all
+    strategy names are validated eagerly against the registries, so an
+    unknown executor, scheduler or assignment fails here — with the
+    valid options enumerated — rather than deep inside the inspector.
+
     Parameters
     ----------
     deps:
@@ -68,14 +87,17 @@ class DoconsiderLoop:
     nproc:
         Processor count of the simulated machine.
     executor:
-        ``"self"`` (default, recommended), ``"preschedule"`` or
-        ``"doacross"``.
+        Any registered executor — ``"self"`` (default, recommended),
+        ``"preschedule"`` or ``"doacross"``.
     scheduler:
-        ``"local"`` (default, recommended), ``"global"`` or
-        ``"identity"``.
+        Any registered scheduler — ``"local"`` (default, recommended),
+        ``"global"`` or ``"identity"``.
     assignment:
-        Initial partition for local scheduling: ``"wrapped"`` or
-        ``"blocked"``.
+        Initial partition for local scheduling — any registered
+        partitioner: ``"wrapped"``, ``"blocked"`` or ``"chunked"``.
+    balance:
+        Repartition rule for global scheduling (``"wrapped"`` or
+        ``"greedy"``).
     costs:
         Machine cost model.
     """
@@ -91,26 +113,23 @@ class DoconsiderLoop:
         balance: str = "wrapped",
         costs: MachineCosts = MULTIMAX_320,
     ):
-        if executor not in ("self", "preschedule", "doacross"):
-            raise ValidationError(
-                f"executor must be 'self', 'preschedule' or 'doacross', got {executor!r}"
-            )
+        from ..runtime.session import Runtime  # deferred: import cycle
+
+        # Validate every strategy name up front (enumerated options).
+        executor_registry.validate(executor)
+        scheduler_registry.validate(scheduler)
+        partitioner_registry.validate(assignment)
+
         self.executor_kind = executor
-        inspector = Inspector(costs)
-        strategy = "identity" if executor == "doacross" else scheduler
-        self.inspection = inspector.inspect(
-            deps, nproc, strategy=strategy, assignment=assignment, balance=balance,
+        # One compile, no cross-call cache: the legacy API's contract
+        # is one inspection per constructed loop.
+        rt = Runtime(nproc=nproc, backend="serial", costs=costs, cache=None)
+        self._compiled = rt.compile(
+            deps, executor=executor, scheduler=scheduler,
+            assignment=assignment, balance=balance,
         )
-        dep = self.inspection.dep
-        schedule = self.inspection.schedule
-        if executor == "self":
-            self._exec = SelfExecutingExecutor(schedule, dep, costs)
-        elif executor == "preschedule":
-            self._exec = PreScheduledExecutor(schedule, dep, costs)
-        else:
-            self._exec = DoacrossExecutor(
-                dep, nproc, costs, wavefronts=self.inspection.wavefronts
-            )
+        self.inspection = self._compiled.inspection
+        self._exec = self._compiled.executor
 
     # ------------------------------------------------------------------
     @property
@@ -123,17 +142,19 @@ class DoconsiderLoop:
 
     def run(self, kernel: LoopKernel, *, unit_work=None) -> DoconsiderResult:
         """Execute the kernel and report numeric result + simulated time."""
-        x = self._exec.run(kernel)
-        sim = self._exec.simulate(unit_work=unit_work)
-        return DoconsiderResult(x=x, sim=sim, inspection=self.inspection)
+        report = self._compiled(kernel, backend="serial", unit_work=unit_work)
+        return DoconsiderResult(x=report.x, sim=report.sim,
+                                inspection=self.inspection)
 
     def run_threaded(self, kernel: LoopKernel, *, timeout: float = 30.0) -> np.ndarray:
         """Execute the kernel on real threads (correctness validation)."""
-        return self._exec.run_threaded(kernel, timeout=timeout)
+        report = self._compiled(kernel, backend="threads", timeout=timeout,
+                                with_sim=False)
+        return report.x
 
     def simulate(self, *, unit_work=None) -> SimResult:
         """Timing only, without executing a kernel."""
-        return self._exec.simulate(unit_work=unit_work)
+        return self._compiled.simulate(unit_work=unit_work)
 
 
 def doconsider(
@@ -145,12 +166,15 @@ def doconsider(
     executor: str = "self",
     scheduler: str = "local",
     assignment: str = "wrapped",
+    balance: str = "wrapped",
     costs: MachineCosts = MULTIMAX_320,
 ) -> DoconsiderResult:
     """One-shot ``doconsider``: inspect, schedule, execute, report.
 
     ``kernel_or_body`` is either a :class:`~repro.core.LoopKernel` or a
-    plain callable ``body(i)`` (then ``n`` must be given).
+    plain callable ``body(i)`` (then ``n`` must be given).  All
+    keyword strategies — including ``balance`` — are forwarded to
+    :class:`DoconsiderLoop`.
     """
     if isinstance(kernel_or_body, LoopKernel):
         kernel = kernel_or_body
@@ -161,6 +185,6 @@ def doconsider(
     loop = DoconsiderLoop(
         deps, nproc,
         executor=executor, scheduler=scheduler,
-        assignment=assignment, costs=costs,
+        assignment=assignment, balance=balance, costs=costs,
     )
     return loop.run(kernel)

@@ -34,11 +34,12 @@ import numpy as np
 from ..errors import ValidationError
 from ..machine.costs import MachineCosts, MULTIMAX_320
 from ..machine.simulator import simulate_self_executing
+from ..runtime.registry import partitioner_registry, scheduler_registry
 from ..sparse.csr import CSRMatrix
 from ..util.timing import Stopwatch
 from .dependence import DependenceGraph
-from .partition import wrapped_partition, blocked_partition, owner_from_assignment
-from .schedule import Schedule, global_schedule, identity_schedule, local_schedule
+from .partition import owner_from_assignment
+from .schedule import Schedule, identity_schedule
 from .wavefront import compute_wavefronts
 
 __all__ = ["Inspector", "InspectionResult", "InspectorCosts"]
@@ -85,6 +86,25 @@ class InspectionResult:
     @property
     def num_wavefronts(self) -> int:
         return int(self.wavefronts.max()) + 1 if self.wavefronts.size else 0
+
+    @property
+    def pipeline_cost(self) -> float:
+        """Model-µs cost of the inspection pipeline this result used.
+
+        ``global`` pays the parallel sort plus the sequential
+        rearrangement; ``local`` the parallel sort plus the concurrent
+        local sorts; ``identity`` sorts nothing.  A user-registered
+        scheduler is priced at the parallel sort alone — the mandatory
+        wavefront sweep; whatever the custom strategy does on top is
+        its own, unpriced, work.
+        """
+        if self.strategy == "global":
+            return self.costs.total_global
+        if self.strategy == "local":
+            return self.costs.total_local
+        if self.strategy == "identity":
+            return 0.0
+        return self.costs.par_sort
 
 
 class Inspector:
@@ -136,41 +156,34 @@ class Inspector:
         nproc:
             Target processor count.
         strategy:
-            ``"global"`` — topological sort + repartition;
-            ``"local"`` — keep the initial assignment, sort locally;
-            ``"identity"`` — no reordering (doacross baseline).
+            Any name in the
+            :data:`~repro.runtime.registry.scheduler_registry` —
+            built-ins: ``"global"`` (topological sort + repartition),
+            ``"local"`` (keep the initial assignment, sort locally),
+            ``"identity"`` (no reordering; doacross baseline).
         assignment:
-            Initial owner mapping for ``local``/``identity``:
-            ``"wrapped"`` or ``"blocked"`` (ignored when ``owner`` is
-            given).
+            Any name in the
+            :data:`~repro.runtime.registry.partitioner_registry` —
+            built-ins: ``"wrapped"``, ``"blocked"``, ``"chunked"``
+            (ignored when ``owner`` is given).
         balance:
             Passed to :func:`~repro.core.schedule.global_schedule`.
         """
+        # Resolve both strategies up front, so an unknown name fails
+        # with the valid options enumerated before any work is done.
+        schedule_fn = scheduler_registry.get(strategy)
+        partition_fn = partitioner_registry.get(assignment)
+
         sw = Stopwatch().start()
         dep = self.dependences_of(source)
         wf = compute_wavefronts(dep)
 
         if owner is not None:
             init_owner = owner_from_assignment(owner, nproc)
-        elif assignment == "wrapped":
-            init_owner = wrapped_partition(dep.n, nproc)
-        elif assignment == "blocked":
-            init_owner = blocked_partition(dep.n, nproc)
         else:
-            raise ValidationError(
-                f"assignment must be 'wrapped' or 'blocked', got {assignment!r}"
-            )
+            init_owner = partition_fn(dep.n, nproc)
 
-        if strategy == "global":
-            schedule = global_schedule(wf, nproc, balance=balance)
-        elif strategy == "local":
-            schedule = local_schedule(wf, init_owner, nproc)
-        elif strategy == "identity":
-            schedule = identity_schedule(wf, nproc, owner=init_owner)
-        else:
-            raise ValidationError(
-                f"strategy must be 'global', 'local' or 'identity', got {strategy!r}"
-            )
+        schedule = schedule_fn(wf, init_owner, nproc, balance=balance)
         sw.stop()
 
         return InspectionResult(

@@ -10,6 +10,17 @@ Two assignments from the paper:
 * **blocked** (contiguous): indices are split into ``p`` contiguous
   runs of near-equal size — used for the trivially parallel SAXPY /
   inner-product / matvec components (Appendix 2.1).
+
+A third, OpenMP-style assignment demonstrates the open strategy set:
+
+* **chunked**: fixed-size chunks dealt round-robin (OpenMP's
+  ``schedule(static, chunk)``) — coarser than wrapped, finer than
+  blocked.
+
+All assignments are registered in the
+:data:`~repro.runtime.registry.partitioner_registry`, so user-defined
+partitions plug in with ``@register_partitioner("name")`` and become
+valid ``assignment=`` strings everywhere.
 """
 
 from __future__ import annotations
@@ -17,16 +28,19 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import ValidationError
+from ..runtime.registry import register_partitioner
 from ..util.validation import check_positive
 
 __all__ = [
     "wrapped_partition",
     "blocked_partition",
+    "chunked_partition",
     "owner_from_assignment",
     "partition_counts",
 ]
 
 
+@register_partitioner("wrapped")
 def wrapped_partition(n: int, nproc: int) -> np.ndarray:
     """Owner array for the wrapped (striped) assignment: ``i mod p``."""
     n = int(n)
@@ -36,6 +50,7 @@ def wrapped_partition(n: int, nproc: int) -> np.ndarray:
     return np.arange(n, dtype=np.int64) % nproc
 
 
+@register_partitioner("blocked")
 def blocked_partition(n: int, nproc: int) -> np.ndarray:
     """Owner array for ``p`` contiguous blocks of near-equal size.
 
@@ -51,6 +66,22 @@ def blocked_partition(n: int, nproc: int) -> np.ndarray:
     sizes = np.full(nproc, base, dtype=np.int64)
     sizes[:extra] += 1
     return np.repeat(np.arange(nproc, dtype=np.int64), sizes)
+
+
+@register_partitioner("chunked")
+def chunked_partition(n: int, nproc: int, chunk: int = 16) -> np.ndarray:
+    """Owner array for round-robin chunks of ``chunk`` consecutive indices.
+
+    OpenMP's ``schedule(static, chunk)``: chunk ``c`` goes to processor
+    ``c mod p``.  ``chunk=1`` degenerates to the wrapped assignment,
+    very large ``chunk`` to (uneven) blocks.
+    """
+    n = int(n)
+    nproc = check_positive(nproc, "nproc")
+    chunk = check_positive(chunk, "chunk")
+    if n < 0:
+        raise ValidationError("n must be non-negative")
+    return (np.arange(n, dtype=np.int64) // chunk) % nproc
 
 
 def owner_from_assignment(owner, nproc: int) -> np.ndarray:

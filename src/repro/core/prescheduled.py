@@ -22,11 +22,18 @@ import numpy as np
 from ..machine.costs import MachineCosts, MULTIMAX_320
 from ..machine.simulator import SimResult, simulate_prescheduled
 from ..machine.threads import ThreadedMachine
+from ..runtime.registry import register_executor
 from .dependence import DependenceGraph
 from .executor import LoopKernel
 from .schedule import Schedule
 
 __all__ = ["PreScheduledExecutor"]
+
+
+@register_executor("preschedule")
+def _build_prescheduled(inspection, nproc, costs):
+    """Registry factory: barrier-synchronized wavefront phases."""
+    return PreScheduledExecutor(inspection.schedule, inspection.dep, costs)
 
 
 class PreScheduledExecutor:

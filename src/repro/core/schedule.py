@@ -15,6 +15,13 @@ two schedulers (Section 2.3):
 
 :func:`identity_schedule` is the degenerate no-reordering schedule the
 plain ``doacross`` baseline runs.
+
+All three are registered in the
+:data:`~repro.runtime.registry.scheduler_registry` under the uniform
+adapter signature ``fn(wf, owner, nproc, *, balance, weights) ->
+Schedule``; user-defined schedulers plug in with
+``@register_scheduler("name")`` and become valid ``scheduler=``
+strings everywhere.
 """
 
 from __future__ import annotations
@@ -24,18 +31,23 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import ScheduleError, ValidationError
+from ..runtime.registry import register_scheduler
 from ..util.validation import check_positive
 from .partition import owner_from_assignment, wrapped_partition
 from .dependence import DependenceGraph
 
 __all__ = [
     "Schedule",
+    "BALANCE_OPTIONS",
     "global_schedule",
     "local_schedule",
     "identity_schedule",
     "save_schedule_npz",
     "load_schedule_npz",
 ]
+
+#: Valid ``balance=`` values of :func:`global_schedule`.
+BALANCE_OPTIONS = ("greedy", "wrapped")
 
 
 @dataclass
@@ -250,6 +262,25 @@ def _local_lists(owner: np.ndarray, wf: np.ndarray, nproc: int) -> list[np.ndarr
     order = np.lexsort((np.arange(n), wf, owner))
     bounds = np.searchsorted(owner[order], np.arange(nproc + 1))
     return [order[bounds[p] : bounds[p + 1]] for p in range(nproc)]
+
+
+# ----------------------------------------------------------------------
+# Registry adapters — the open scheduler set
+# ----------------------------------------------------------------------
+
+@register_scheduler("global")
+def _global_adapter(wf, owner, nproc, *, balance="wrapped", weights=None):
+    return global_schedule(wf, nproc, weights=weights, balance=balance)
+
+
+@register_scheduler("local")
+def _local_adapter(wf, owner, nproc, *, balance="wrapped", weights=None):
+    return local_schedule(wf, owner, nproc)
+
+
+@register_scheduler("identity")
+def _identity_adapter(wf, owner, nproc, *, balance="wrapped", weights=None):
+    return identity_schedule(wf, nproc, owner=owner)
 
 
 # ----------------------------------------------------------------------

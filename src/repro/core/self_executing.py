@@ -22,11 +22,18 @@ from ..machine.simulator import (
     toposort_plan,
 )
 from ..machine.threads import ThreadedMachine
+from ..runtime.registry import register_executor
 from .dependence import DependenceGraph
 from .executor import LoopKernel
 from .schedule import Schedule
 
 __all__ = ["SelfExecutingExecutor"]
+
+
+@register_executor("self")
+def _build_self_executing(inspection, nproc, costs):
+    """Registry factory: Figure 1's recommended executor."""
+    return SelfExecutingExecutor(inspection.schedule, inspection.dep, costs)
 
 
 class SelfExecutingExecutor:

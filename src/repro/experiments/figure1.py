@@ -17,8 +17,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.dependence import DependenceGraph
-from ..core.inspector import Inspector
-from ..machine.simulator import simulate
+from ..runtime.cache import ScheduleCache
+from ..runtime.session import Runtime
 from ..util.tables import TextTable
 from ..workload.generator import generate_workload
 from .runner import ExperimentContext
@@ -46,9 +46,15 @@ def run_figure1(
 ) -> tuple[dict, TextTable]:
     """Measure all four quadrants; returns ({(sched, exec): summary}, table)."""
     ctx = ctx or ExperimentContext()
+    nprocs = tuple(nprocs)  # materialize once; callers may pass iterators
     wl = generate_workload(f"{mesh}mesh")
     dep = DependenceGraph.from_lower_csr(wl.matrix)
-    inspector = Inspector(ctx.costs)
+    # One cache across the processor sweep: both executors of a cell
+    # reuse the same inspection (the schedule depends only on the
+    # scheduler and p), so half the compiles are cache hits.
+    cache = ScheduleCache(maxsize=max(1, 4 * len(nprocs)))
+    runtimes = {p: Runtime(nproc=p, costs=ctx.costs, cache=cache)
+                for p in nprocs}
 
     cells: dict[tuple[str, str], QuadrantSummary] = {}
     for scheduler in ("local", "global"):
@@ -56,8 +62,11 @@ def run_figure1(
             effs = []
             setup = 0.0
             for p in nprocs:
-                res = inspector.inspect(dep, p, strategy=scheduler)
-                sim = simulate(res.schedule, dep, ctx.costs, mode=executor)
+                loop = runtimes[p].compile(
+                    dep, executor=executor, scheduler=scheduler,
+                )
+                res = loop.inspection
+                sim = loop.simulate()
                 effs.append(sim.efficiency)
                 setup = (
                     res.costs.total_global

@@ -17,8 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..core.dependence import DependenceGraph
-from ..core.inspector import Inspector
-from ..machine.simulator import simulate
+from ..runtime.cache import ScheduleCache
+from ..runtime.session import Runtime
 from ..util.tables import TextTable
 from ..workload.generator import generate_workload
 from .runner import ExperimentContext
@@ -43,15 +43,22 @@ def run_figure12(
 ) -> tuple[list[Figure12Point], TextTable]:
     """Sweep processor counts on the mesh problem, striped local schedule."""
     ctx = ctx or ExperimentContext()
+    nprocs = tuple(nprocs)  # materialize once; callers may pass iterators
     wl = generate_workload(f"{mesh}mesh")
     dep = DependenceGraph.from_lower_csr(wl.matrix)
-    inspector = Inspector(ctx.costs)
+    # Shared cache across the sweep: the self-executing compile of each
+    # p reuses the barrier compile's inspection.
+    cache = ScheduleCache(maxsize=max(1, 2 * len(nprocs)))
 
     points: list[Figure12Point] = []
     for p in nprocs:
-        res = inspector.inspect(dep, p, strategy="local", assignment="wrapped")
-        sim_barrier = simulate(res.schedule, dep, ctx.costs, mode="preschedule")
-        sim_self = simulate(res.schedule, dep, ctx.costs, mode="self")
+        rt = Runtime(nproc=p, costs=ctx.costs, cache=cache)
+        barrier = rt.compile(dep, executor="preschedule", scheduler="local",
+                             assignment="wrapped")
+        self_exec = rt.compile(dep, executor="self", scheduler="local",
+                               assignment="wrapped")
+        sim_barrier = barrier.simulate()
+        sim_self = self_exec.simulate()
         points.append(
             Figure12Point(
                 nproc=p,

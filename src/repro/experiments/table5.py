@@ -16,8 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..core.dependence import DependenceGraph
-from ..core.inspector import Inspector
-from ..machine.simulator import sequential_time, simulate
+from ..machine.simulator import sequential_time
+from ..runtime.session import Runtime
 from ..util.tables import TextTable
 from ..workload.generator import generate_workload
 from .runner import ExperimentContext
@@ -58,15 +58,16 @@ def run_table5(
 ) -> tuple[list[Table5Row], TextTable]:
     """Run the scheduling-overhead comparison; self-executing loops only."""
     ctx = ctx or ExperimentContext()
-    inspector = Inspector(ctx.costs)
+    rt = Runtime(nproc=ctx.nproc, costs=ctx.costs)
     rows: list[Table5Row] = []
     for name in workloads:
         wl = generate_workload(name)
         dep = DependenceGraph.from_lower_csr(wl.matrix)
-        res_g = inspector.inspect(dep, ctx.nproc, strategy="global")
-        res_l = inspector.inspect(dep, ctx.nproc, strategy="local")
-        sim_g = simulate(res_g.schedule, dep, ctx.costs, mode="self")
-        sim_l = simulate(res_l.schedule, dep, ctx.costs, mode="self")
+        loop_g = rt.compile(dep, executor="self", scheduler="global")
+        loop_l = rt.compile(dep, executor="self", scheduler="local")
+        res_g, res_l = loop_g.inspection, loop_l.inspection
+        sim_g = loop_g.simulate()
+        sim_l = loop_l.simulate()
         to_ms = 1e-3
         rows.append(
             Table5Row(

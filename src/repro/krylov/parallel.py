@@ -26,11 +26,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..core.dependence import DependenceGraph
-from ..core.inspector import Inspector, InspectorCosts
+from ..core.inspector import InspectorCosts
 from ..core.schedule import Schedule, global_schedule, identity_schedule, local_schedule
 from ..core.partition import blocked_partition, wrapped_partition
 from ..errors import ValidationError
 from ..machine.costs import MachineCosts, MULTIMAX_320
+from ..runtime.session import Runtime
 from ..machine.simulator import (
     SimResult,
     sequential_time,
@@ -158,7 +159,16 @@ class ParallelSolver:
         ``"global"`` or ``"local"`` index-set scheduling for those
         components.
     costs:
-        Machine cost model.
+        Machine cost model (defaults to the Multimax calibration).
+        When a ``runtime`` session is given, its cost model applies —
+        passing a conflicting ``costs`` alongside it is an error.
+    runtime:
+        Optional shared :class:`~repro.runtime.Runtime` session.  When
+        given (its ``nproc`` must match), the solver's inspections go
+        through the session's :class:`~repro.runtime.ScheduleCache`,
+        so repeated solver constructions over the same factor
+        structure — the PCGPAK amortisation pattern — skip the
+        topological sorts entirely.
     """
 
     def __init__(
@@ -168,19 +178,35 @@ class ParallelSolver:
         *,
         executor: str = "self",
         scheduler: str = "global",
-        costs: MachineCosts = MULTIMAX_320,
+        costs: MachineCosts | None = None,
         ilu_level: int = 0,
+        runtime: Runtime | None = None,
     ):
         if executor not in ("self", "preschedule"):
             raise ValidationError("executor must be 'self' or 'preschedule'")
         if scheduler not in ("global", "local"):
             raise ValidationError("scheduler must be 'global' or 'local'")
+        if runtime is None:
+            costs = MULTIMAX_320 if costs is None else costs
+            runtime = Runtime(nproc=int(nproc), costs=costs, cache=8)
+        elif runtime.nproc != int(nproc):
+            raise ValidationError(
+                f"runtime.nproc={runtime.nproc} does not match nproc={nproc}"
+            )
+        elif costs is not None and costs != runtime.costs:
+            raise ValidationError(
+                "conflicting cost models: pass costs through the runtime "
+                "session (or omit the costs argument)"
+            )
+        else:
+            costs = runtime.costs
         self.a = a
         self.nproc = int(nproc)
         self.executor = executor
         self.scheduler = scheduler
         self.costs = costs
         self.ilu_level = ilu_level
+        self.runtime = runtime
 
         # Build the preconditioner once; its pattern drives the
         # dependence analysis for solves and numeric factorization.
@@ -190,13 +216,16 @@ class ParallelSolver:
         self.dep_upper = DependenceGraph.from_upper_csr(lu)
         self.pattern = lu
 
-        inspector = Inspector(costs)
-        self._insp_lower = inspector.inspect(
-            self.dep_lower, self.nproc, strategy=scheduler, assignment="wrapped",
-        )
-        self._insp_upper = inspector.inspect(
-            self.dep_upper, self.nproc, strategy=scheduler, assignment="wrapped",
-        )
+        # Both triangular directions compile through the runtime, so
+        # their inspections are cached and shared across solvers.
+        self._insp_lower = runtime.compile(
+            self.dep_lower, executor=executor, scheduler=scheduler,
+            assignment="wrapped",
+        ).inspection
+        self._insp_upper = runtime.compile(
+            self.dep_upper, executor=executor, scheduler=scheduler,
+            assignment="wrapped",
+        ).inspection
         self.schedule_lower: Schedule = self._insp_lower.schedule
         self.schedule_upper: Schedule = self._insp_upper.schedule
 

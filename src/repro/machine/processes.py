@@ -152,11 +152,15 @@ class _ProcessSolverBase:
 class ProcessPrescheduledSolver(_ProcessSolverBase):
     """Level-synchronous (barrier) triangular solve on real processes."""
 
-    def solve(self, b: np.ndarray) -> np.ndarray:
+    def solve(self, b: np.ndarray, *, timeout: float | None = None) -> np.ndarray:
+        """Solve ``L x = b``; ``timeout`` bounds the whole solve (wall
+        seconds) — a wedged worker raises :class:`DeadlockError`
+        instead of hanging the caller."""
         b = check_vector(b, self.n, "b")
         phases = self.schedule.phases()
         shm_x, _ = self._make_shared(with_ready=False)
         ctx = mp.get_context("fork")
+        deadline = None if timeout is None else time.monotonic() + timeout
         try:
             x_view = np.ndarray((self.n,), dtype=np.float64, buffer=shm_x.buf)
             x_view[:] = 0.0
@@ -168,9 +172,22 @@ class ProcessPrescheduledSolver(_ProcessSolverBase):
             ) as pool:
                 for phase in phases:
                     work = [rows for rows in phase if rows.size]
-                    if work:
+                    if not work:
+                        continue
+                    if deadline is None:
                         # The synchronous map IS the global barrier.
                         pool.map(_solve_rows_batch, work)
+                    else:
+                        result = pool.map_async(_solve_rows_batch, work)
+                        remaining = deadline - time.monotonic()
+                        try:
+                            result.get(max(0.0, remaining))
+                        except mp.TimeoutError:
+                            pool.terminate()
+                            raise DeadlockError(
+                                f"prescheduled process solve exceeded "
+                                f"{timeout}s"
+                            ) from None
             return x_view.copy()
         finally:
             shm_x.close()

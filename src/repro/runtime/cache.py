@@ -1,0 +1,221 @@
+"""Structure-keyed schedule cache — cross-run inspector amortisation.
+
+The paper's economic argument (Section 5.2, Table 5) is that the
+inspector pays off only when its cost is amortised over many executions
+of the same loop structure: PCGPAK performs one topological sort and
+reuses it for every Krylov iteration.  :class:`ScheduleCache` makes
+that amortisation first-class and extends it across *call sites* and,
+optionally, across *program runs*:
+
+* in memory — an LRU map from a structural fingerprint of
+  ``(dependence graph, nproc, scheduler, assignment, balance, cost
+  model)`` to the full :class:`~repro.core.inspector.InspectionResult`,
+  so a repeated :meth:`Runtime.compile <repro.runtime.Runtime.compile>`
+  of identical structure skips the wavefront sweep, the scheduling
+  *and* the Table 5 cost pricing;
+* on disk — optional ``.npz`` persistence through the existing
+  :func:`~repro.core.schedule.save_schedule_npz` /
+  :func:`~repro.core.schedule.load_schedule_npz` pair (the PARTI-style
+  "save the communication schedule" pattern), with the priced
+  inspection costs in a JSON sidecar so a warm start skips the pricing
+  too.
+
+The fingerprint is a BLAKE2b digest of the dependence CSR arrays plus
+the strategy parameters, so two structurally identical graphs hit the
+same entry no matter which arrays they were built from.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import ValidationError
+
+__all__ = ["ScheduleCache", "CacheStats"]
+
+
+@dataclass
+class CacheStats:
+    """Counters of one cache's lifetime (amortisation evidence)."""
+
+    #: In-memory lookups that found a ready inspection.
+    hits: int = 0
+    #: Lookups that found nothing and forced a cold inspection.
+    misses: int = 0
+    #: Entries dropped by the LRU bound.
+    evictions: int = 0
+    #: Misses satisfied from the persistence directory instead.
+    disk_hits: int = 0
+    #: Inspections written through to the persistence directory.
+    disk_stores: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def snapshot(self) -> "CacheStats":
+        return dataclasses.replace(self)
+
+
+class ScheduleCache:
+    """LRU cache of :class:`~repro.core.inspector.InspectionResult`.
+
+    Parameters
+    ----------
+    maxsize:
+        In-memory entry bound; least-recently-used entries are evicted
+        beyond it.
+    persist_dir:
+        Optional directory for ``.npz`` write-through persistence.
+        Misses consult it before re-inspecting, and every stored entry
+        is written to it, so the amortisation survives process restarts.
+    """
+
+    def __init__(self, maxsize: int = 128, persist_dir=None):
+        if maxsize <= 0:
+            raise ValidationError("cache maxsize must be positive")
+        self.maxsize = int(maxsize)
+        self.persist_dir = Path(persist_dir) if persist_dir is not None else None
+        if self.persist_dir is not None:
+            self.persist_dir.mkdir(parents=True, exist_ok=True)
+        self._entries: OrderedDict[str, object] = OrderedDict()
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    # Keys
+    # ------------------------------------------------------------------
+    @staticmethod
+    def key_for(dep, nproc: int, strategy: str, assignment: str,
+                balance: str, costs,
+                versions: tuple = ()) -> str:
+        """Structural fingerprint of one compile request.
+
+        ``versions`` carries the registry fingerprints of the resolved
+        strategies (see :meth:`Registry.fingerprint
+        <repro.runtime.registry.Registry.fingerprint>`), so shadowing
+        a registered name — in this process or a different run sharing
+        a persistence directory — never serves schedules another
+        implementation built.
+        """
+        h = hashlib.blake2b(digest_size=20)
+        h.update(np.ascontiguousarray(dep.indptr, dtype=np.int64).tobytes())
+        h.update(np.ascontiguousarray(dep.indices, dtype=np.int64).tobytes())
+        params = (dep.n, int(nproc), strategy, assignment, balance,
+                  dataclasses.astuple(costs), tuple(versions))
+        h.update(repr(params).encode())
+        return h.hexdigest()
+
+    # ------------------------------------------------------------------
+    # Lookup / store
+    # ------------------------------------------------------------------
+    def get(self, key: str, dep=None):
+        """Fetch a cached inspection, or ``None`` on a full miss.
+
+        ``dep`` is required to resurrect a disk entry (the persisted
+        schedule carries wavefronts but not the graph itself).
+        """
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry
+        self.stats.misses += 1
+        if self.persist_dir is not None and dep is not None:
+            entry = self._load_disk(key, dep)
+            if entry is not None:
+                self.stats.disk_hits += 1
+                self._install(key, entry)
+                return entry
+        return None
+
+    def put(self, key: str, inspection) -> None:
+        """Store one inspection (write-through when persisting)."""
+        self._install(key, inspection)
+        if self.persist_dir is not None:
+            self._store_disk(key, inspection)
+
+    def _install(self, key: str, inspection) -> None:
+        self._entries[key] = inspection
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def _paths(self, key: str) -> tuple[Path, Path]:
+        return (self.persist_dir / f"{key}.npz",
+                self.persist_dir / f"{key}.json")
+
+    def _store_disk(self, key: str, inspection) -> None:
+        from ..core.schedule import save_schedule_npz  # deferred: import cycle
+
+        npz_path, meta_path = self._paths(key)
+        # Write-then-rename, so a crash mid-store never leaves a
+        # truncated entry for a future run to trip on.  The temp name
+        # must keep the .npz suffix (numpy appends it otherwise).
+        tmp = npz_path.with_name(f"{key}.tmp.npz")
+        save_schedule_npz(tmp, inspection.schedule)
+        tmp.replace(npz_path)
+        meta = {
+            "strategy": inspection.strategy,
+            "costs": dataclasses.asdict(inspection.costs),
+        }
+        tmp = meta_path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(meta))
+        tmp.replace(meta_path)
+        self.stats.disk_stores += 1
+
+    def _load_disk(self, key: str, dep):
+        from ..core.inspector import InspectionResult, InspectorCosts
+        from ..core.schedule import load_schedule_npz  # deferred: import cycle
+
+        npz_path, meta_path = self._paths(key)
+        if not (npz_path.exists() and meta_path.exists()):
+            return None
+        try:
+            schedule = load_schedule_npz(npz_path)
+            if schedule.n != dep.n:
+                return None  # stale entry for a different structure
+            meta = json.loads(meta_path.read_text())
+            costs = InspectorCosts(**meta["costs"])
+            strategy = meta["strategy"]
+        except Exception:
+            # A corrupt or foreign file is a miss, not a crash — the
+            # cold path re-inspects and overwrites the bad entry.
+            return None
+        return InspectionResult(
+            dep=dep,
+            wavefronts=schedule.wavefronts,
+            schedule=schedule,
+            strategy=strategy,
+            costs=costs,
+            host_seconds=0.0,
+        )
+
+    # ------------------------------------------------------------------
+    def clear(self) -> None:
+        """Drop the in-memory entries (disk entries are kept)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key) -> bool:
+        return key in self._entries
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ScheduleCache(entries={len(self)}/{self.maxsize}, "
+                f"hits={self.stats.hits}, misses={self.stats.misses})")

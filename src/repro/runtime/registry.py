@@ -1,0 +1,189 @@
+"""String-keyed strategy registries — the open dispatch surface.
+
+The paper fixes a closed set of strategies (two schedulers, two
+partitions, three executors); "OpenMP Loop Scheduling Revisited"
+argues the set should be *open*.  These registries replace the
+``if/elif`` chains that used to live in ``core/doconsider.py``,
+``core/inspector.py`` and the executors: every scheduler, partitioner,
+executor and execution backend is looked up by name in a
+:class:`Registry`, and third-party strategies plug in with a decorator
+without touching core::
+
+    from repro.runtime import register_partitioner
+
+    @register_partitioner("alternating")
+    def alternating(n, nproc):
+        return (np.arange(n) // 2) % nproc
+
+Registered names become immediately valid everywhere a strategy string
+is accepted (``Runtime.compile``, ``doconsider``, ``Inspector``), and
+unknown names fail *eagerly* with the currently valid options
+enumerated.
+
+Registration contracts
+----------------------
+* **partitioner** — ``fn(n, nproc) -> owner`` (int array, length ``n``,
+  entries in ``[0, nproc)``);
+* **scheduler** — ``fn(wf, owner, nproc, *, balance, weights) ->
+  Schedule``;
+* **executor** — ``fn(inspection, nproc, costs) -> executor`` where the
+  executor object provides ``run`` / ``simulate`` / ``run_threaded``
+  and a ``schedule`` attribute.  Metadata ``scheduler_override`` names
+  a scheduler the executor forces (``doacross`` forces ``identity``);
+* **backend** — an :class:`~repro.runtime.backends.ExecutionBackend`
+  subclass (instantiable with no arguments).
+"""
+
+from __future__ import annotations
+
+from ..errors import ValidationError
+
+__all__ = [
+    "Registry",
+    "executor_registry",
+    "scheduler_registry",
+    "partitioner_registry",
+    "backend_registry",
+    "register_executor",
+    "register_scheduler",
+    "register_partitioner",
+    "register_backend",
+]
+
+
+class Registry:
+    """A named, string-keyed mapping of pluggable strategies.
+
+    Entries carry optional metadata keyword pairs; lookups of unknown
+    names raise :class:`~repro.errors.ValidationError` with the valid
+    options enumerated (dynamically, so third-party registrations are
+    reflected in the message).
+    """
+
+    def __init__(self, kind: str):
+        #: Human-readable entry kind, used in error messages.
+        self.kind = kind
+        self._entries: dict[str, object] = {}
+        self._metadata: dict[str, dict] = {}
+        self._versions: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def register(self, name: str, obj=None, /, **metadata):
+        """Register ``obj`` under ``name``; usable as a decorator.
+
+        Re-registering a name overwrites the previous entry (so a user
+        can shadow a built-in strategy).
+        """
+        if not isinstance(name, str) or not name:
+            raise ValidationError(f"{self.kind} name must be a non-empty string")
+
+        def _install(value):
+            self._entries[name] = value
+            self._metadata[name] = dict(metadata)
+            # Bump the name's generation so anything keyed on the
+            # strategy (the ScheduleCache) treats the shadowing
+            # registration as a different strategy.
+            self._versions[name] = self._versions.get(name, 0) + 1
+            return value
+
+        if obj is None:
+            return _install
+        return _install(obj)
+
+    def unregister(self, name: str) -> None:
+        """Remove an entry (useful for scoped/test registrations)."""
+        self.get(name)
+        del self._entries[name]
+        del self._metadata[name]
+
+    def get(self, name: str):
+        """Look up ``name``, raising with the valid options on a miss."""
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise ValidationError(
+                f"unknown {self.kind} {name!r}; valid options are: "
+                f"{self.options()}"
+            ) from None
+
+    def validate(self, name: str) -> str:
+        """Assert ``name`` is registered (same error as :meth:`get`)."""
+        self.get(name)
+        return name
+
+    def version(self, name: str) -> int:
+        """Registration generation of ``name`` (bumped on re-register)."""
+        self.get(name)
+        return self._versions[name]
+
+    def fingerprint(self, name: str) -> str:
+        """Identity of ``name``'s current implementation, for cache keys.
+
+        Combines the callable's module/qualname/definition line (stable
+        across processes, so ``.npz``-persisted schedules survive
+        restarts) with the in-process registration generation (so
+        shadowing a name — even from a REPL where source locations
+        collide — never serves schedules the previous implementation
+        built).
+        """
+        obj = self.get(name)
+        code = getattr(obj, "__code__", None)
+        loc = f"@{code.co_firstlineno}" if code is not None else ""
+        module = getattr(obj, "__module__", "?")
+        qualname = getattr(obj, "__qualname__", type(obj).__name__)
+        return f"{module}.{qualname}{loc}#v{self._versions[name]}"
+
+    def metadata(self, name: str) -> dict:
+        """Metadata keywords attached at registration (copy)."""
+        self.get(name)
+        return dict(self._metadata[name])
+
+    def options(self) -> str:
+        """The registered names, rendered for error messages."""
+        return ", ".join(repr(k) for k in sorted(self._entries)) or "(none)"
+
+    # ------------------------------------------------------------------
+    def names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._entries))
+
+    def __contains__(self, name) -> bool:
+        return name in self._entries
+
+    def __iter__(self):
+        return iter(sorted(self._entries))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Registry({self.kind!r}, {self.names()})"
+
+
+#: How a compiled loop executes iterations (self / preschedule / doacross, …).
+executor_registry = Registry("executor")
+#: How the inspector orders the index set (local / global / identity, …).
+scheduler_registry = Registry("scheduler")
+#: How indices are initially assigned to processors (wrapped / blocked, …).
+partitioner_registry = Registry("assignment")
+#: Where execution happens (serial / sim / threads / processes, …).
+backend_registry = Registry("backend")
+
+
+def register_executor(name: str, obj=None, /, **metadata):
+    """Register an executor factory (decorator)."""
+    return executor_registry.register(name, obj, **metadata)
+
+
+def register_scheduler(name: str, obj=None, /, **metadata):
+    """Register a scheduler function (decorator)."""
+    return scheduler_registry.register(name, obj, **metadata)
+
+
+def register_partitioner(name: str, obj=None, /, **metadata):
+    """Register an initial-assignment partitioner (decorator)."""
+    return partitioner_registry.register(name, obj, **metadata)
+
+
+def register_backend(name: str, obj=None, /, **metadata):
+    """Register an execution backend class (decorator)."""
+    return backend_registry.register(name, obj, **metadata)

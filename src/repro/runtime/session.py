@@ -1,0 +1,387 @@
+"""The :class:`Runtime` session — the library's canonical public API.
+
+A :class:`Runtime` fixes the machine (processor count, cost model,
+default backend) once; :meth:`Runtime.compile` turns run-time
+dependence data into a reusable :class:`CompiledLoop`, the
+inspector/executor split made explicit::
+
+    rt = Runtime(nproc=8, backend="threads", costs=MULTIMAX_320)
+    loop = rt.compile(deps, executor="self", scheduler="local")
+    report = loop(kernel)        # RunReport: numbers + timing + costs
+    report = loop(kernel)        # inspection amortised: same schedule
+
+Every compile consults the session's :class:`ScheduleCache`, so
+repeated compiles of *identical dependence structure* — the PCGPAK
+pattern, where one topological sort serves every Krylov iteration —
+skip the inspector entirely, including its Table 5 cost pricing.
+:class:`RunReport` carries the amortisation counters (``cache_hit``,
+``compile_count``, ``executions``) that make the paper's break-even
+argument checkable at run time.
+
+Strategy strings (``executor``, ``scheduler``, ``assignment``,
+``backend``) are resolved through the open registries of
+:mod:`repro.runtime.registry` and validated eagerly — unknown names
+fail at :meth:`compile` time with the valid options enumerated.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.schedule import BALANCE_OPTIONS
+from ..errors import ValidationError
+from ..machine.costs import MachineCosts, MULTIMAX_320
+from ..machine.simulator import SimResult
+from ..util.timing import Stopwatch
+from ..util.validation import check_positive
+from . import backends as _backends  # noqa: F401 — registers the built-ins
+from .cache import CacheStats, ScheduleCache
+from .registry import (
+    backend_registry,
+    executor_registry,
+    partitioner_registry,
+    scheduler_registry,
+)
+
+__all__ = ["Runtime", "CompiledLoop", "RunReport"]
+
+
+@dataclass
+class RunReport:
+    """Normalized outcome of one execution, whatever the backend.
+
+    All four built-in backends return this one shape: the numeric
+    result (``None`` for the ``sim`` backend), the machine-model
+    timing, the inspection that produced the schedule, and the
+    amortisation counters.
+    """
+
+    #: Numeric result (``None`` when the backend is timing-only).
+    x: np.ndarray | None
+    #: Simulated machine timing of this execution.
+    sim: SimResult | None
+    #: Inspector output (schedule, wavefronts, Table 5 costs).
+    inspection: object
+    #: Backend / strategy names this execution resolved to.
+    backend: str
+    executor: str
+    scheduler: str
+    assignment: str
+    #: True when the schedule came from the session's ScheduleCache.
+    cache_hit: bool
+    #: Times this structure has been compiled through the session.
+    compile_count: int
+    #: Executions of this CompiledLoop so far (including this one).
+    executions: int
+    #: Wall-clock seconds of this execution.
+    host_seconds: float
+    #: Snapshot of the session cache counters at report time.
+    cache_stats: CacheStats | None = None
+
+    @property
+    def inspect_cost(self) -> float:
+        """Model-µs cost of the inspection this run rides on."""
+        return self.inspection.pipeline_cost
+
+    @property
+    def amortised_inspect_cost(self) -> float:
+        """Inspection model-µs charged to each execution so far."""
+        return self.inspect_cost / max(1, self.executions)
+
+    @property
+    def efficiency(self) -> float:
+        return self.sim.efficiency if self.sim is not None else float("nan")
+
+
+class CompiledLoop:
+    """A reusable, inspected loop: schedule fixed, executions cheap.
+
+    Produced by :meth:`Runtime.compile`; call it with a kernel to
+    execute (``loop(kernel)``), optionally overriding the session's
+    backend per call (``loop(kernel, backend="processes")``).
+    """
+
+    def __init__(self, runtime: "Runtime", inspection, *, executor_name: str,
+                 scheduler_name: str, assignment: str, executor,
+                 cache_hit: bool, compile_count: int):
+        self.runtime = runtime
+        self.inspection = inspection
+        self.executor_name = executor_name
+        self.scheduler_name = scheduler_name
+        self.assignment = assignment
+        #: The executor object (self-executing / pre-scheduled / …).
+        self.executor = executor
+        #: Whether this compile was served from the ScheduleCache.
+        self.cache_hit = cache_hit
+        #: Compiles of this structure through the session, so far.
+        self.compile_count = compile_count
+        #: Executions through this object.
+        self.executions = 0
+        self._default_sim: SimResult | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def schedule(self):
+        return self.inspection.schedule
+
+    @property
+    def dep(self):
+        return self.inspection.dep
+
+    @property
+    def wavefronts(self) -> np.ndarray:
+        return self.inspection.wavefronts
+
+    @property
+    def nproc(self) -> int:
+        return self.inspection.schedule.nproc
+
+    @property
+    def costs(self) -> MachineCosts:
+        return self.runtime.costs
+
+    # ------------------------------------------------------------------
+    def __call__(self, kernel=None, *, backend: str | None = None,
+                 unit_work: np.ndarray | None = None,
+                 timeout: float = 30.0, with_sim: bool = True) -> RunReport:
+        """Execute ``kernel`` on a backend; returns a :class:`RunReport`.
+
+        ``with_sim=False`` skips the machine-model timing on execution
+        backends (``report.sim`` is ``None``) — use it when only the
+        numbers matter.  ``host_seconds`` always measures the backend
+        execution alone; the simulation is attached afterwards, and
+        the default (``unit_work=None``) simulation is memoized per
+        compiled loop.
+        """
+        name = backend if backend is not None else self.runtime.backend
+        backend_obj = backend_registry.get(name)()
+        sw = Stopwatch().start()
+        x, sim = backend_obj.execute(
+            self, kernel, unit_work=unit_work, timeout=timeout,
+        )
+        sw.stop()
+        if sim is None and with_sim:
+            sim = self.simulate(unit_work=unit_work)
+        self.executions += 1
+        cache = self.runtime.cache
+        return RunReport(
+            x=x,
+            sim=sim,
+            inspection=self.inspection,
+            backend=name,
+            executor=self.executor_name,
+            scheduler=self.inspection.strategy,
+            assignment=self.assignment,
+            cache_hit=self.cache_hit,
+            compile_count=self.compile_count,
+            executions=self.executions,
+            host_seconds=sw.elapsed,
+            cache_stats=cache.stats.snapshot() if cache is not None else None,
+        )
+
+    #: Named alias for the call protocol.
+    run = __call__
+
+    def simulate(self, *, unit_work: np.ndarray | None = None) -> SimResult:
+        """Machine-model timing only, without executing a kernel.
+
+        The simulation is exact and deterministic, so the default
+        (``unit_work=None``) result is computed once and reused.
+        """
+        if unit_work is not None:
+            return self.executor.simulate(unit_work=unit_work)
+        if self._default_sim is None:
+            self._default_sim = self.executor.simulate()
+        return self._default_sim
+
+    def report(self) -> dict:
+        """Amortisation summary (the paper's break-even argument).
+
+        ``break_even_executions`` is the number of executions after
+        which the inspection has paid for itself — inspection cost over
+        the per-execution saving of the scheduled run against the
+        sequential loop (``inf`` when the parallel run does not win).
+        """
+        sim = self.simulate()
+        inspect_cost = self.inspection.pipeline_cost
+        saving = sim.seq_time - sim.total_time
+        return {
+            "executor": self.executor_name,
+            "scheduler": self.inspection.strategy,
+            "assignment": self.assignment,
+            "n": self.dep.n,
+            "nproc": self.nproc,
+            "num_wavefronts": self.inspection.num_wavefronts,
+            "cache_hit": self.cache_hit,
+            "compile_count": self.compile_count,
+            "executions": self.executions,
+            "inspect_cost": inspect_cost,
+            "parallel_time": sim.total_time,
+            "seq_time": sim.seq_time,
+            "efficiency": sim.efficiency,
+            "break_even_executions": (
+                inspect_cost / saving if saving > 0.0 else float("inf")
+            ),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"CompiledLoop(n={self.dep.n}, nproc={self.nproc}, "
+                f"executor={self.executor_name!r}, "
+                f"scheduler={self.inspection.strategy!r}, "
+                f"cache_hit={self.cache_hit})")
+
+
+class Runtime:
+    """A session binding machine shape, backend and schedule cache.
+
+    Parameters
+    ----------
+    nproc:
+        Simulated (and threaded/process) processor count.
+    backend:
+        Default execution backend: ``"serial"``, ``"sim"``,
+        ``"threads"`` or ``"processes"`` (or any registered name).
+    costs:
+        Machine cost model for simulation and inspection pricing.
+    cache:
+        ``ScheduleCache`` instance, an int (LRU size), or ``None`` to
+        disable inspection caching.
+    cache_dir:
+        Optional persistence directory (ignored when ``cache`` is an
+        instance) — enables ``.npz`` write-through so schedules
+        survive process restarts.
+    """
+
+    def __init__(self, nproc: int = 8, *, backend: str = "serial",
+                 costs: MachineCosts = MULTIMAX_320,
+                 cache: ScheduleCache | int | None = 128,
+                 cache_dir=None):
+        from ..core.inspector import Inspector  # deferred: import cycle
+
+        self.nproc = check_positive(nproc, "nproc")
+        self.backend = backend_registry.validate(backend)
+        self.costs = costs
+        if isinstance(cache, ScheduleCache):
+            self.cache: ScheduleCache | None = cache
+        elif cache is None:
+            self.cache = None
+        else:
+            self.cache = ScheduleCache(maxsize=int(cache),
+                                       persist_dir=cache_dir)
+        self._inspector = Inspector(costs)
+        # Amortisation counter per structure key, bounded like the
+        # cache it annotates (an evicted structure restarts at 1).
+        self._compile_counts: OrderedDict[str, int] = OrderedDict()
+        self._compile_counts_max = (
+            4 * self.cache.maxsize if self.cache is not None else 128
+        )
+
+    # ------------------------------------------------------------------
+    def compile(self, deps, *, executor: str = "self",
+                scheduler: str = "local", assignment: str = "wrapped",
+                balance: str = "wrapped") -> CompiledLoop:
+        """Inspect (or fetch from cache) and bind an executor.
+
+        ``deps`` is any dependence source the inspector understands: a
+        :class:`~repro.core.dependence.DependenceGraph`, a
+        lower-triangular CSR matrix, or a 1-D/2-D indirection array.
+        All strategy names are validated up front against the
+        registries.
+        """
+        executor_registry.validate(executor)
+        scheduler_registry.validate(scheduler)
+        partitioner_registry.validate(assignment)
+
+        meta = executor_registry.metadata(executor)
+        strategy = meta.get("scheduler_override") or scheduler
+        # ``balance`` is consumed by the built-in global scheduler, so
+        # only there can it be validated eagerly; other schedulers
+        # (including user-registered ones) receive it verbatim per the
+        # registry contract and may ignore it or define their own
+        # values.
+        if strategy == "global" and balance not in BALANCE_OPTIONS:
+            raise ValidationError(
+                f"unknown balance {balance!r}; valid options are: "
+                + ", ".join(repr(b) for b in BALANCE_OPTIONS)
+            )
+
+        dep = self._inspector.dependences_of(deps)
+        key = ScheduleCache.key_for(
+            dep, self.nproc, strategy, assignment, balance, self.costs,
+            # Implementation fingerprints: shadowing a strategy name —
+            # here or in a previous run sharing the persistence dir —
+            # must not serve schedules another implementation built.
+            versions=(scheduler_registry.fingerprint(strategy),
+                      partitioner_registry.fingerprint(assignment)),
+        )
+        inspection = None
+        if self.cache is not None:
+            inspection = self.cache.get(key, dep)
+        cache_hit = inspection is not None
+        if inspection is None:
+            inspection = self._inspector.inspect(
+                dep, self.nproc, strategy=strategy,
+                assignment=assignment, balance=balance,
+            )
+            if self.cache is not None:
+                self.cache.put(key, inspection)
+
+        self._compile_counts[key] = self._compile_counts.get(key, 0) + 1
+        self._compile_counts.move_to_end(key)
+        while len(self._compile_counts) > self._compile_counts_max:
+            self._compile_counts.popitem(last=False)
+        executor_obj = executor_registry.get(executor)(
+            inspection, self.nproc, self.costs,
+        )
+        return CompiledLoop(
+            self, inspection,
+            executor_name=executor, scheduler_name=scheduler,
+            assignment=assignment, executor=executor_obj,
+            cache_hit=cache_hit,
+            compile_count=self._compile_counts[key],
+        )
+
+    # ------------------------------------------------------------------
+    def run(self, kernel, deps=None, *, backend: str | None = None,
+            unit_work: np.ndarray | None = None, timeout: float = 30.0,
+            **compile_options) -> RunReport:
+        """One-shot convenience: compile (cached) and execute.
+
+        ``deps`` defaults to the kernel's own
+        ``dependence_graph()`` when it provides one (the library
+        kernels all do).
+        """
+        if deps is None:
+            graph_of = getattr(kernel, "dependence_graph", None)
+            if graph_of is None:
+                raise ValidationError(
+                    "deps is required: the kernel does not expose a "
+                    "dependence_graph() method"
+                )
+            deps = graph_of()
+        loop = self.compile(deps, **compile_options)
+        return loop(kernel, backend=backend, unit_work=unit_work,
+                    timeout=timeout)
+
+    # ------------------------------------------------------------------
+    @property
+    def cache_stats(self) -> CacheStats | None:
+        """Counters of the session cache (``None`` when disabled)."""
+        return self.cache.stats if self.cache is not None else None
+
+    @staticmethod
+    def available() -> dict[str, tuple[str, ...]]:
+        """Registered strategy names, per registry."""
+        return {
+            "executors": executor_registry.names(),
+            "schedulers": scheduler_registry.names(),
+            "assignments": partitioner_registry.names(),
+            "backends": backend_registry.names(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Runtime(nproc={self.nproc}, backend={self.backend!r}, "
+                f"cache={self.cache!r})")

@@ -14,6 +14,7 @@ MODULE_NAMES = [
     # importlib (not attribute access): `repro.core.doconsider` the
     # *attribute* is the function re-exported by the package __init__.
     "repro.core.doconsider",
+    "repro.runtime",
     "repro.util.timing",
 ]
 

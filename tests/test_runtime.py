@@ -1,0 +1,396 @@
+"""Tests for the ``repro.runtime`` API: session, registries, backends.
+
+The load-bearing property: the new ``Runtime`` path is *bit-identical*
+to the legacy construction (direct ``Inspector`` + executor classes)
+for every executor × scheduler × assignment combination — same numeric
+result, same simulated timings — so the registry indirection costs
+nothing in fidelity.
+"""
+
+import multiprocessing as mp
+
+import numpy as np
+import pytest
+
+from repro.core.dependence import DependenceGraph
+from repro.core.doacross import DoacrossExecutor
+from repro.core.doconsider import DoconsiderLoop, doconsider
+from repro.core.executor import (
+    SerialExecutor,
+    SimpleLoopKernel,
+    TriangularSolveKernel,
+)
+from repro.core.inspector import Inspector
+from repro.core.prescheduled import PreScheduledExecutor
+from repro.core.self_executing import SelfExecutingExecutor
+from repro.errors import ValidationError
+from repro.machine.costs import MULTIMAX_320
+from repro.runtime import (
+    Runtime,
+    backend_registry,
+    executor_registry,
+    partitioner_registry,
+    register_partitioner,
+    register_scheduler,
+    scheduler_registry,
+)
+from repro.sparse.build import random_lower_triangular
+from repro.sparse.triangular import LevelScheduledSolver
+
+EXECUTORS = ("self", "preschedule", "doacross")
+SCHEDULERS = ("local", "global")
+ASSIGNMENTS = ("wrapped", "blocked", "chunked")
+
+
+@pytest.fixture(scope="module")
+def case():
+    rng = np.random.default_rng(77)
+    n = 120
+    x0 = rng.standard_normal(n)
+    b = rng.standard_normal(n)
+    ia = rng.integers(0, n, size=n)
+    oracle = SerialExecutor().run(SimpleLoopKernel(x0, b, ia))
+    return x0, b, ia, oracle
+
+
+def legacy_path(ia, nproc, executor, scheduler, assignment, kernel):
+    """The pre-registry construction, reproduced verbatim."""
+    inspector = Inspector(MULTIMAX_320)
+    strategy = "identity" if executor == "doacross" else scheduler
+    insp = inspector.inspect(ia, nproc, strategy=strategy,
+                             assignment=assignment)
+    if executor == "self":
+        ex = SelfExecutingExecutor(insp.schedule, insp.dep, MULTIMAX_320)
+    elif executor == "preschedule":
+        ex = PreScheduledExecutor(insp.schedule, insp.dep, MULTIMAX_320)
+    else:
+        ex = DoacrossExecutor(insp.dep, nproc, MULTIMAX_320,
+                              wavefronts=insp.wavefronts)
+    return ex.run(kernel), ex.simulate()
+
+
+class TestRegistryEquivalence:
+    """Runtime path ≡ legacy path, bit for bit, every combination."""
+
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    @pytest.mark.parametrize("assignment", ASSIGNMENTS)
+    def test_bit_identical(self, case, executor, scheduler, assignment):
+        x0, b, ia, oracle = case
+        nproc = 4
+        x_old, sim_old = legacy_path(
+            ia, nproc, executor, scheduler, assignment,
+            SimpleLoopKernel(x0, b, ia),
+        )
+        rt = Runtime(nproc=nproc, costs=MULTIMAX_320)
+        rep = rt.compile(ia, executor=executor, scheduler=scheduler,
+                         assignment=assignment)(SimpleLoopKernel(x0, b, ia))
+        # Bit-identical numerics (same code path, same order).
+        assert np.array_equal(rep.x, x_old)
+        np.testing.assert_allclose(rep.x, oracle)
+        # Identical simulated timings, field by field.
+        assert rep.sim.total_time == sim_old.total_time
+        assert rep.sim.seq_time == sim_old.seq_time
+        assert rep.sim.sync_time == sim_old.sync_time
+        assert rep.sim.check_time == sim_old.check_time
+        assert rep.sim.inc_time == sim_old.inc_time
+        assert rep.sim.sched_time == sim_old.sched_time
+        assert rep.sim.num_phases == sim_old.num_phases
+        assert np.array_equal(rep.sim.busy, sim_old.busy)
+        assert np.array_equal(rep.sim.idle, sim_old.idle)
+
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    def test_doconsider_shim_matches_runtime(self, case, executor, scheduler):
+        x0, b, ia, _ = case
+        loop = DoconsiderLoop(ia, nproc=4, executor=executor,
+                              scheduler=scheduler)
+        res = loop.run(SimpleLoopKernel(x0, b, ia))
+        rt = Runtime(nproc=4)
+        rep = rt.compile(ia, executor=executor, scheduler=scheduler)(
+            SimpleLoopKernel(x0, b, ia))
+        assert np.array_equal(res.x, rep.x)
+        assert res.sim.total_time == rep.sim.total_time
+
+
+class TestBackends:
+    def test_sim_backend_is_kernel_free(self, case):
+        _, _, ia, _ = case
+        rep = Runtime(nproc=4, backend="sim").compile(ia)()
+        assert rep.x is None
+        assert rep.sim.total_time > 0
+
+    def test_serial_backend_requires_kernel(self, case):
+        _, _, ia, _ = case
+        with pytest.raises(ValidationError, match="kernel"):
+            Runtime(nproc=4).compile(ia)()
+
+    def test_threads_backend_matches_serial(self, case):
+        x0, b, ia, oracle = case
+        loop = Runtime(nproc=3).compile(ia)
+        rep = loop(SimpleLoopKernel(x0, b, ia), backend="threads")
+        np.testing.assert_allclose(rep.x, oracle)
+        assert rep.backend == "threads"
+
+    def test_all_backends_agree_on_triangular_solve(self):
+        l = random_lower_triangular(120, avg_off_diag=2.0, max_band=24, seed=5)
+        b = np.random.default_rng(6).standard_normal(120)
+        expected = LevelScheduledSolver(l, lower=True).solve(b)
+        dep = DependenceGraph.from_lower_csr(l)
+        rt = Runtime(nproc=2)
+        backends = ["serial", "threads"]
+        if "fork" in mp.get_all_start_methods():
+            backends.append("processes")
+        for executor in ("self", "preschedule"):
+            loop = rt.compile(dep, executor=executor, scheduler="global")
+            for backend in backends:
+                kernel = TriangularSolveKernel(l, b)
+                rep = loop(kernel, backend=backend)
+                np.testing.assert_allclose(rep.x, expected, rtol=1e-10,
+                                           err_msg=f"{executor}/{backend}")
+
+    def test_processes_backend_rejects_non_triangular_kernels(self, case):
+        x0, b, ia, _ = case
+        if "fork" not in mp.get_all_start_methods():
+            pytest.skip("process backend requires POSIX fork")
+        loop = Runtime(nproc=2).compile(ia)
+        with pytest.raises(ValidationError, match="TriangularSolveKernel"):
+            loop(SimpleLoopKernel(x0, b, ia), backend="processes")
+
+    def test_unknown_backend_enumerates_options(self, case):
+        _, _, ia, _ = case
+        with pytest.raises(ValidationError, match="valid options are"):
+            Runtime(nproc=2, backend="gpu")
+        loop = Runtime(nproc=2).compile(ia)
+        with pytest.raises(ValidationError, match="'serial'"):
+            loop(None, backend="gpu")
+
+
+class TestEagerValidation:
+    """Unknown strategy names fail up front, options enumerated."""
+
+    @pytest.mark.parametrize("kwargs", [
+        {"executor": "warp"},
+        {"scheduler": "cosmic"},
+        {"assignment": "randomly"},
+    ])
+    def test_doconsider_loop_validates_up_front(self, case, kwargs):
+        _, _, ia, _ = case
+        with pytest.raises(ValidationError, match="valid options are"):
+            DoconsiderLoop(ia, nproc=2, **kwargs)
+
+    def test_message_lists_registered_names(self, case):
+        _, _, ia, _ = case
+        with pytest.raises(ValidationError, match="'global', 'identity', 'local'"):
+            Runtime(nproc=2).compile(ia, scheduler="nope")
+
+    def test_inspector_validates_before_working(self):
+        # A huge bogus-strategy inspect must fail fast, not after the
+        # wavefront sweep — we can only check it fails with the
+        # enumerating message.
+        with pytest.raises(ValidationError, match="valid options are"):
+            Inspector().inspect(np.array([0, 0, 1]), 2, strategy="nope")
+        with pytest.raises(ValidationError, match="valid options are"):
+            Inspector().inspect(np.array([0, 0, 1]), 2, assignment="nope")
+
+
+class TestPluggability:
+    def test_custom_partitioner_usable_by_name(self, case):
+        x0, b, ia, oracle = case
+
+        @register_partitioner("test-reversed")
+        def reversed_partition(n, nproc):
+            return (np.int64(n) - 1 - np.arange(n, dtype=np.int64)) % nproc
+
+        try:
+            assert "test-reversed" in partitioner_registry
+            rep = Runtime(nproc=3).compile(
+                ia, scheduler="local", assignment="test-reversed",
+            )(SimpleLoopKernel(x0, b, ia))
+            np.testing.assert_allclose(rep.x, oracle)
+        finally:
+            partitioner_registry.unregister("test-reversed")
+
+    def test_custom_scheduler_usable_by_name(self, case):
+        x0, b, ia, oracle = case
+        from repro.core.schedule import local_schedule
+
+        @register_scheduler("test-local-too")
+        def local_too(wf, owner, nproc, *, balance="wrapped", weights=None):
+            return local_schedule(wf, owner, nproc)
+
+        try:
+            rep = Runtime(nproc=3).compile(
+                ia, scheduler="test-local-too",
+            )(SimpleLoopKernel(x0, b, ia))
+            np.testing.assert_allclose(rep.x, oracle)
+            assert rep.scheduler == "test-local-too"
+        finally:
+            scheduler_registry.unregister("test-local-too")
+
+    def test_builtin_registrations_present(self):
+        assert set(EXECUTORS) <= set(executor_registry.names())
+        assert {"local", "global", "identity"} <= set(scheduler_registry.names())
+        assert {"wrapped", "blocked", "chunked"} <= set(partitioner_registry.names())
+        assert {"serial", "sim", "threads", "processes"} <= set(backend_registry.names())
+
+    def test_doacross_forces_identity_schedule(self, case):
+        _, _, ia, _ = case
+        loop = Runtime(nproc=4).compile(ia, executor="doacross",
+                                        scheduler="global")
+        assert loop.inspection.strategy == "identity"
+
+    def test_shadowing_a_strategy_invalidates_cached_schedules(self, case):
+        _, _, ia, _ = case
+        rt = Runtime(nproc=2)
+
+        def by_blocks(n, nproc):
+            return np.repeat(np.arange(nproc), -(-n // nproc))[:n]
+
+        register_partitioner("test-shadow")(by_blocks)
+        try:
+            first = rt.compile(ia, scheduler="local", assignment="test-shadow")
+            # Shadow with a different implementation: a recompile must
+            # NOT serve the stale schedule of the old one.
+            register_partitioner("test-shadow")(
+                lambda n, nproc: np.arange(n, dtype=np.int64) % nproc)
+            second = rt.compile(ia, scheduler="local",
+                                assignment="test-shadow")
+            assert not second.cache_hit
+            assert not np.array_equal(second.schedule.owner,
+                                      first.schedule.owner)
+        finally:
+            partitioner_registry.unregister("test-shadow")
+
+    def test_custom_scheduler_inspect_cost_not_zero(self, case):
+        x0, b, ia, _ = case
+        from repro.core.schedule import local_schedule
+
+        @register_scheduler("test-priced")
+        def priced(wf, owner, nproc, *, balance="wrapped", weights=None):
+            return local_schedule(wf, owner, nproc)
+
+        try:
+            rep = Runtime(nproc=3).compile(ia, scheduler="test-priced")(
+                SimpleLoopKernel(x0, b, ia))
+            # Priced at the mandatory parallel sort, not "free".
+            assert rep.inspect_cost == rep.inspection.costs.par_sort
+            assert rep.inspect_cost > 0
+        finally:
+            scheduler_registry.unregister("test-priced")
+
+    def test_balance_validated_eagerly_for_global(self, case):
+        _, _, ia, _ = case
+        with pytest.raises(ValidationError, match="valid options are"):
+            Runtime(nproc=2).compile(ia, scheduler="global", balance="bogus")
+        with pytest.raises(ValidationError, match="'greedy', 'wrapped'"):
+            DoconsiderLoop(ia, nproc=2, scheduler="global", balance="bogus")
+        # Schedulers that do not consume balance receive it verbatim
+        # (legacy behavior: silently unused).
+        assert Runtime(nproc=2).compile(ia, scheduler="local",
+                                        balance="bogus") is not None
+
+
+class TestBalancePlumbing:
+    """Satellite bug: the one-shot ``doconsider`` forwards ``balance``."""
+
+    def test_one_shot_forwards_balance(self, case):
+        x0, b, ia, oracle = case
+        out = doconsider(
+            SimpleLoopKernel(x0, b, ia), deps=ia, nproc=4,
+            executor="self", scheduler="global", balance="greedy",
+        )
+        np.testing.assert_allclose(out.x, oracle)
+        assert out.inspection.schedule.strategy == "global/greedy"
+
+    def test_loop_forwards_balance(self, case):
+        _, _, ia, _ = case
+        loop = DoconsiderLoop(ia, nproc=4, scheduler="global",
+                              balance="greedy")
+        assert loop.schedule.strategy == "global/greedy"
+
+    def test_default_balance_is_wrapped(self, case):
+        x0, b, ia, _ = case
+        out = doconsider(SimpleLoopKernel(x0, b, ia), deps=ia, nproc=4,
+                         scheduler="global")
+        assert out.inspection.schedule.strategy == "global/wrapped"
+
+
+class TestRuntimeSession:
+    def test_one_shot_run_derives_deps_from_kernel(self, case):
+        x0, b, ia, oracle = case
+        rep = Runtime(nproc=4).run(SimpleLoopKernel(x0, b, ia))
+        np.testing.assert_allclose(rep.x, oracle)
+
+    def test_run_without_deps_requires_kernel_graph(self):
+        with pytest.raises(ValidationError, match="dependence_graph"):
+            Runtime(nproc=2).run(object())
+
+    def test_execution_counter_increments(self, case):
+        x0, b, ia, _ = case
+        loop = Runtime(nproc=4).compile(ia)
+        r1 = loop(SimpleLoopKernel(x0, b, ia))
+        r2 = loop(SimpleLoopKernel(x0, b, ia))
+        assert (r1.executions, r2.executions) == (1, 2)
+        assert r2.amortised_inspect_cost <= r1.amortised_inspect_cost
+
+    def test_report_contents(self, case):
+        _, _, ia, _ = case
+        loop = Runtime(nproc=4).compile(ia, scheduler="global")
+        rep = loop.report()
+        assert rep["scheduler"] == "global"
+        assert rep["nproc"] == 4
+        assert rep["inspect_cost"] > 0
+        assert rep["break_even_executions"] > 0
+
+    def test_available_lists_all_registries(self):
+        avail = Runtime.available()
+        assert set(avail) == {"executors", "schedulers", "assignments",
+                              "backends"}
+
+    def test_with_sim_false_skips_the_timing(self, case):
+        x0, b, ia, oracle = case
+        loop = Runtime(nproc=4).compile(ia)
+        rep = loop(SimpleLoopKernel(x0, b, ia), with_sim=False)
+        assert rep.sim is None
+        np.testing.assert_allclose(rep.x, oracle)
+        # The sim backend ignores the flag — timing is its product.
+        assert loop(None, backend="sim", with_sim=False).sim is not None
+
+    def test_default_simulation_is_memoized(self, case):
+        _, _, ia, _ = case
+        loop = Runtime(nproc=4).compile(ia)
+        assert loop.simulate() is loop.simulate()
+        assert loop.simulate(unit_work=np.ones(len(ia))) is not loop.simulate()
+
+    def test_parallel_solver_rejects_conflicting_costs(self):
+        from repro.krylov.parallel import ParallelSolver
+        from repro.machine.costs import MachineCosts
+        from repro.mesh.problems import get_problem
+        prob = get_problem("5-PT", scale=0.2)
+        rt = Runtime(nproc=4)
+        with pytest.raises(ValidationError, match="conflicting cost"):
+            ParallelSolver(prob.a, 4, costs=MachineCosts(t_work_base=1.0),
+                           runtime=rt)
+        with pytest.raises(ValidationError, match="nproc"):
+            ParallelSolver(prob.a, 8, runtime=rt)
+        # Matching or omitted costs are fine, and the session cache
+        # amortises the second solver's inspections entirely.
+        ParallelSolver(prob.a, 4, costs=MULTIMAX_320, runtime=rt)
+        hits_before = rt.cache_stats.hits
+        ParallelSolver(prob.a, 4, runtime=rt)
+        assert rt.cache_stats.hits >= hits_before + 2
+
+    def test_experiment_sweeps_accept_iterators(self):
+        from repro.experiments.figure12 import run_figure12
+        from repro.experiments.runner import ExperimentContext
+        ctx = ExperimentContext(nproc=4, scale=0.2)
+        points, _ = run_figure12(ctx, mesh=17, nprocs=iter([2, 4]))
+        assert [pt.nproc for pt in points] == [2, 4]
+
+    def test_chunked_assignment_correct(self, case):
+        x0, b, ia, oracle = case
+        rep = Runtime(nproc=4).compile(
+            ia, scheduler="local", assignment="chunked",
+        )(SimpleLoopKernel(x0, b, ia))
+        np.testing.assert_allclose(rep.x, oracle)

@@ -1,0 +1,211 @@
+"""Tests for the :class:`~repro.runtime.ScheduleCache`.
+
+Hit/miss accounting, LRU eviction, cross-run ``.npz`` persistence, and
+the amortisation counters surfaced through ``RunReport``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dependence import DependenceGraph
+from repro.core.executor import SerialExecutor, SimpleLoopKernel
+from repro.errors import ValidationError
+from repro.machine.costs import MULTIMAX_320, MachineCosts
+from repro.runtime import Runtime, ScheduleCache
+
+
+@pytest.fixture()
+def case():
+    rng = np.random.default_rng(99)
+    n = 80
+    x0 = rng.standard_normal(n)
+    b = rng.standard_normal(n)
+    ia = rng.integers(0, n, size=n)
+    return x0, b, ia
+
+
+def graph_of(ia):
+    return DependenceGraph.from_indirection(np.asarray(ia))
+
+
+class TestKeys:
+    def test_same_structure_same_key(self, case):
+        _, _, ia = case
+        k1 = ScheduleCache.key_for(graph_of(ia), 4, "local", "wrapped",
+                                   "wrapped", MULTIMAX_320)
+        k2 = ScheduleCache.key_for(graph_of(ia.copy()), 4, "local", "wrapped",
+                                   "wrapped", MULTIMAX_320)
+        assert k1 == k2
+
+    @pytest.mark.parametrize("variant", [
+        dict(nproc=8),
+        dict(strategy="global"),
+        dict(assignment="blocked"),
+        dict(balance="greedy"),
+        dict(costs=MachineCosts(t_work_base=1.0)),
+    ])
+    def test_any_parameter_changes_the_key(self, case, variant):
+        _, _, ia = case
+        base = dict(nproc=4, strategy="local", assignment="wrapped",
+                    balance="wrapped", costs=MULTIMAX_320)
+        k1 = ScheduleCache.key_for(graph_of(ia), **base)
+        k2 = ScheduleCache.key_for(graph_of(ia), **{**base, **variant})
+        assert k1 != k2
+
+    def test_different_structure_different_key(self, case):
+        _, _, ia = case
+        ia2 = ia.copy()
+        ia2[-1] = 0
+        k1 = ScheduleCache.key_for(graph_of(ia), 4, "local", "wrapped",
+                                   "wrapped", MULTIMAX_320)
+        k2 = ScheduleCache.key_for(graph_of(ia2), 4, "local", "wrapped",
+                                   "wrapped", MULTIMAX_320)
+        assert k1 != k2
+
+
+class TestHitMiss:
+    def test_second_compile_hits(self, case):
+        _, _, ia = case
+        rt = Runtime(nproc=4)
+        first = rt.compile(ia)
+        second = rt.compile(ia.copy())  # same structure, new arrays
+        assert not first.cache_hit
+        assert second.cache_hit
+        assert second.inspection is first.inspection
+        assert (first.compile_count, second.compile_count) == (1, 2)
+        assert rt.cache_stats.hits == 1
+        assert rt.cache_stats.misses == 1
+
+    def test_run_report_carries_the_counters(self, case):
+        x0, b, ia = case
+        rt = Runtime(nproc=4)
+        rt.compile(ia)
+        rep = rt.compile(ia)(SimpleLoopKernel(x0, b, ia))
+        assert rep.cache_hit
+        assert rep.compile_count == 2
+        assert rep.cache_stats.hits == 1
+
+    def test_different_strategies_do_not_collide(self, case):
+        x0, b, ia = case
+        oracle = SerialExecutor().run(SimpleLoopKernel(x0, b, ia))
+        rt = Runtime(nproc=4)
+        for scheduler in ("local", "global"):
+            for assignment in ("wrapped", "blocked"):
+                loop = rt.compile(ia, scheduler=scheduler,
+                                  assignment=assignment)
+                assert not loop.cache_hit
+                rep = loop(SimpleLoopKernel(x0, b, ia))
+                np.testing.assert_allclose(rep.x, oracle)
+        assert rt.cache_stats.misses == 4
+        assert rt.cache_stats.hits == 0
+
+    def test_cache_disabled(self, case):
+        _, _, ia = case
+        rt = Runtime(nproc=4, cache=None)
+        assert rt.cache_stats is None
+        assert not rt.compile(ia).cache_hit
+        assert not rt.compile(ia).cache_hit
+
+    def test_cached_schedule_executes_correctly(self, case):
+        x0, b, ia = case
+        oracle = SerialExecutor().run(SimpleLoopKernel(x0, b, ia))
+        rt = Runtime(nproc=4)
+        rt.compile(ia)
+        rep = rt.compile(ia)(SimpleLoopKernel(x0, b, ia))
+        np.testing.assert_allclose(rep.x, oracle)
+
+
+class TestEviction:
+    def test_lru_evicts_oldest(self, case):
+        _, _, ia = case
+        cache = ScheduleCache(maxsize=2)
+        rt = Runtime(nproc=4, cache=cache)
+        rt.compile(ia, scheduler="local")    # A
+        rt.compile(ia, scheduler="global")   # B
+        rt.compile(ia, assignment="blocked")  # C evicts A
+        assert cache.stats.evictions == 1
+        assert len(cache) == 2
+        assert not rt.compile(ia, scheduler="local").cache_hit   # A gone
+        # B was evicted by A's re-insert; C is still resident.
+        assert rt.compile(ia, assignment="blocked").cache_hit
+
+    def test_hit_refreshes_recency(self, case):
+        _, _, ia = case
+        cache = ScheduleCache(maxsize=2)
+        rt = Runtime(nproc=4, cache=cache)
+        rt.compile(ia, scheduler="local")    # A
+        rt.compile(ia, scheduler="global")   # B
+        rt.compile(ia, scheduler="local")    # touch A
+        rt.compile(ia, assignment="blocked")  # C evicts B, not A
+        assert rt.compile(ia, scheduler="local").cache_hit
+
+    def test_maxsize_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            ScheduleCache(maxsize=0)
+
+
+class TestPersistence:
+    def test_npz_roundtrip_across_sessions(self, case, tmp_path):
+        x0, b, ia = case
+        oracle = SerialExecutor().run(SimpleLoopKernel(x0, b, ia))
+
+        rt1 = Runtime(nproc=4, cache=8, cache_dir=tmp_path)
+        loop1 = rt1.compile(ia, scheduler="global")
+        assert rt1.cache_stats.disk_stores == 1
+        assert list(tmp_path.glob("*.npz"))
+
+        # A fresh session (cold memory) warm-starts from disk.
+        rt2 = Runtime(nproc=4, cache=8, cache_dir=tmp_path)
+        loop2 = rt2.compile(ia, scheduler="global")
+        assert loop2.cache_hit
+        assert rt2.cache_stats.disk_hits == 1
+        assert rt2.cache_stats.misses == 1  # memory missed, disk served
+
+        # The resurrected schedule is the same object, field by field.
+        s1, s2 = loop1.schedule, loop2.schedule
+        assert s1.nproc == s2.nproc
+        assert s1.strategy == s2.strategy
+        assert np.array_equal(s1.owner, s2.owner)
+        assert np.array_equal(s1.wavefronts, s2.wavefronts)
+        for l1, l2 in zip(s1.local_order, s2.local_order):
+            assert np.array_equal(l1, l2)
+        # And the priced inspection costs survived the roundtrip.
+        assert loop1.inspection.costs == loop2.inspection.costs
+
+        rep = loop2(SimpleLoopKernel(x0, b, ia))
+        np.testing.assert_allclose(rep.x, oracle)
+
+    def test_disk_entries_are_structure_checked(self, case, tmp_path):
+        _, _, ia = case
+        cache = ScheduleCache(maxsize=4, persist_dir=tmp_path)
+        rt = Runtime(nproc=4, cache=cache)
+        loop = rt.compile(ia)
+        key = ScheduleCache.key_for(loop.dep, 4, "local", "wrapped",
+                                    "wrapped", rt.costs)
+        # Simulate a (hash-colliding / stale) entry for another n.
+        other = DependenceGraph.from_indirection(np.array([0, 0, 1]))
+        assert cache._load_disk(key, other) is None
+
+    def test_corrupt_disk_entry_is_a_miss_not_a_crash(self, case, tmp_path):
+        _, _, ia = case
+        rt1 = Runtime(nproc=4, cache=8, cache_dir=tmp_path)
+        rt1.compile(ia)
+        for npz in tmp_path.glob("*.npz"):
+            npz.write_text("garbage")  # truncated / corrupted store
+        rt2 = Runtime(nproc=4, cache=8, cache_dir=tmp_path)
+        loop = rt2.compile(ia)  # must fall back to a cold inspection
+        assert not loop.cache_hit
+        assert rt2.cache_stats.disk_hits == 0
+        # The cold path overwrote the bad entry; next session hits.
+        rt3 = Runtime(nproc=4, cache=8, cache_dir=tmp_path)
+        assert rt3.compile(ia).cache_hit
+
+    def test_clear_keeps_disk(self, case, tmp_path):
+        _, _, ia = case
+        cache = ScheduleCache(maxsize=8, persist_dir=tmp_path)
+        rt = Runtime(nproc=4, cache=cache)
+        rt.compile(ia)
+        cache.clear()
+        assert len(cache) == 0
+        assert rt.compile(ia).cache_hit          # served from disk
+        assert cache.stats.disk_hits == 1
