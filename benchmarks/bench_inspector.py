@@ -1,0 +1,149 @@
+"""Benchmark: vectorized inspector hot path vs the pure-Python oracle.
+
+The paper's economic argument (Table 5) holds only while inspection is
+cheap relative to loop execution.  This benchmark records the cost of
+the inspector's two hottest steps — the wavefront computation and the
+successor-CSR construction — under the vectorized engine against the
+retained per-index / per-edge reference implementations
+(:mod:`repro.core.reference`), across n ∈ {10^4, 10^5, 10^6}:
+
+* **Figure 3 workload** (random indirection, in-degree ≤ 1) — served
+  by the pointer-doubling fast path, no successor CSR at all;
+* **Figure 8 workload** (random triangular-factor structure, ~3
+  dependences per row) — served by the general frontier/level-set
+  engine over the successor CSR.
+
+Acceptance: ≥ 10× cold-inspection speedup at n = 10^6 on the Figure 3
+workload.  The property suite (``tests/test_property_core.py``)
+independently asserts the vectorized paths produce identical
+wavefronts, so the speedup is free of semantic drift.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import reference
+from repro.core.dependence import DependenceGraph
+from repro.core.wavefront import compute_wavefronts
+from repro.sparse.build import random_lower_triangular
+from repro.util.tables import TextTable
+
+SIZES = (10_000, 100_000, 1_000_000)
+ACCEPT_N = 1_000_000
+ACCEPT_SPEEDUP = 10.0
+
+
+def _figure3_graph(n: int) -> DependenceGraph:
+    rng = np.random.default_rng(1989 + n)
+    ia = rng.integers(0, n, size=n)
+    return DependenceGraph.from_indirection(ia)
+
+
+def _figure8_graph(n: int) -> DependenceGraph:
+    l = random_lower_triangular(
+        n, avg_off_diag=3.0, max_band=max(n // 60, 8), seed=1989,
+    )
+    return DependenceGraph.from_lower_csr(l)
+
+
+def _time(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _cold(dep: DependenceGraph):
+    # A cold inspection builds the successor CSR too — drop the cache
+    # so every repetition pays the full price.
+    dep._succ_indptr = dep._succ_indices = None
+    return compute_wavefronts(dep)
+
+
+def _sweep_table(title: str, graphs: dict) -> tuple[TextTable, dict]:
+    table = TextTable(
+        headers=["n", "edges", "wavefronts", "reference ms",
+                 "vectorized ms", "speedup", "Midx/s"],
+        formats=["d", "d", "d", ".1f", ".1f", ".1f", ".1f"],
+        title=title,
+    )
+    speedups = {}
+    for n, dep in graphs.items():
+        repeats = 3 if n < ACCEPT_N else 1
+        t_ref = _time(lambda: reference.compute_wavefronts(dep), repeats)
+        t_vec = _time(lambda: _cold(dep), repeats)
+        wf = compute_wavefronts(dep)
+        np.testing.assert_array_equal(wf, reference.compute_wavefronts(dep))
+        speedups[n] = t_ref / t_vec
+        table.add_row(n, dep.num_edges, int(wf.max()) + 1, t_ref * 1000,
+                      t_vec * 1000, speedups[n], n / t_vec / 1e6)
+    return table, speedups
+
+
+def test_figure3_sweep_speedup(save_table):
+    """Acceptance: ≥ 10× cold inspection at n = 10^6 (Figure 3)."""
+    graphs = {n: _figure3_graph(n) for n in SIZES}
+    table, speedups = _sweep_table(
+        "Cold inspection, Figure 3 workload (in-degree ≤ 1): "
+        "reference sweep vs pointer doubling", graphs)
+    print()
+    print(table.render())
+    save_table("inspector_figure3", table.render())
+    assert speedups[ACCEPT_N] >= ACCEPT_SPEEDUP, (
+        f"only {speedups[ACCEPT_N]:.1f}x at n={ACCEPT_N}"
+    )
+
+
+def test_figure8_sweep_speedup(save_table):
+    """General multi-predecessor graphs ride the frontier engine."""
+    graphs = {n: _figure8_graph(n) for n in SIZES}
+    table, speedups = _sweep_table(
+        "Cold inspection, Figure 8 workload (~3 deps/row): "
+        "reference sweep vs frontier engine", graphs)
+    print()
+    print(table.render())
+    save_table("inspector_figure8", table.render())
+    # The frontier engine must win clearly at the amortisation-relevant
+    # sizes (recorded margins ≥ 5×; the n=10^4 row is reported but not
+    # asserted — its ~2× margin is within shared-runner noise).  The
+    # 10× acceptance bar applies to the Figure 3 workload above.
+    assert all(speedups[n] > 1.5 for n in SIZES[1:])
+
+
+def test_successors_speedup(save_table):
+    """Reversed-edge CSR: composite-key argsort vs per-edge fill loop."""
+    table = TextTable(
+        headers=["n", "edges", "reference ms", "vectorized ms", "speedup"],
+        formats=["d", "d", ".1f", ".1f", ".1f"],
+        title="Successor-CSR construction: per-edge loop vs argsort",
+    )
+    for n in SIZES[:-1]:  # the 10^6 per-edge loop alone takes minutes
+        dep = _figure8_graph(n)
+
+        def vectorized():
+            dep._succ_indptr = dep._succ_indices = None
+            return dep.successors()
+
+        t_ref = _time(lambda: reference.successors(dep), 3)
+        t_vec = _time(vectorized, 3)
+        si, ss = dep.successors()
+        ri, rs = reference.successors(dep)
+        np.testing.assert_array_equal(si, ri)
+        np.testing.assert_array_equal(ss, rs)
+        table.add_row(n, dep.num_edges, t_ref * 1000, t_vec * 1000,
+                      t_ref / t_vec)
+    print()
+    print(table.render())
+    save_table("inspector_successors", table.render())
+
+
+def test_bench_frontier_sweep(benchmark):
+    """pytest-benchmark statistics for the frontier path at 10^5."""
+    dep = _figure8_graph(100_000)
+    dep.successors()  # warm the CSR; time the sweep itself
+    wf = benchmark(lambda: compute_wavefronts(dep))
+    assert wf.shape == (100_000,)

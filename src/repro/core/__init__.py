@@ -6,7 +6,9 @@ and 3 of the paper:
 * :mod:`~repro.core.dependence` — iteration-level dependence graphs
   extracted from indirection arrays or sparse-matrix structures;
 * :mod:`~repro.core.wavefront` — the topological sort of Figure 7 that
-  assigns every loop index a wavefront number;
+  assigns every loop index a wavefront number (vectorized frontier
+  engine; the per-index originals live in :mod:`~repro.core.reference`
+  as property-tested oracles);
 * :mod:`~repro.core.partition` — wrapped/blocked index partitions;
 * :mod:`~repro.core.schedule` — global and local index-set scheduling;
 * :mod:`~repro.core.inspector` — the run-time inspector tying the above
@@ -21,6 +23,7 @@ and 3 of the paper:
   transformation rules of Section 2.2.
 """
 
+from . import reference
 from .dependence import DependenceGraph
 from .wavefront import compute_wavefronts, wavefront_counts, wavefront_members
 from .partition import (
@@ -53,6 +56,7 @@ from .doconsider import doconsider, DoconsiderLoop
 from .transform import parallelize_source, ParallelizedLoop
 
 __all__ = [
+    "reference",
     "DependenceGraph",
     "compute_wavefronts",
     "wavefront_counts",

@@ -19,6 +19,7 @@ import numpy as np
 
 from ..errors import StructureError
 from ..sparse.csr import CSRMatrix
+from ..util.frontier import counts_to_indptr, frontier_sweep
 from ..util.validation import as_int_array, check_index_array, check_positive
 
 __all__ = ["DependenceGraph"]
@@ -75,9 +76,7 @@ class DependenceGraph:
             n = ia.shape[0]
         n = int(n)
         dep_exists = ia[:n] < np.arange(n)
-        counts = dep_exists.astype(np.int64)
-        indptr = np.zeros(n + 1, dtype=np.int64)
-        np.cumsum(counts, out=indptr[1:])
+        indptr = counts_to_indptr(dep_exists.astype(np.int64))
         indices = ia[:n][dep_exists]
         return cls(indptr, indices, n, check_acyclic=False)
 
@@ -94,19 +93,25 @@ class DependenceGraph:
         if n is None:
             n = g.shape[0]
         n = int(n)
-        indptr = [0]
-        indices: list[np.ndarray] = []
-        for i in range(n):
-            deps = np.unique(g[i])
-            deps = deps[deps < i]
-            indices.append(deps)
-            indptr.append(indptr[-1] + deps.shape[0])
-        return cls(
-            np.asarray(indptr, dtype=np.int64),
-            np.concatenate(indices) if indices else np.empty(0, dtype=np.int64),
-            n,
-            check_acyclic=False,
-        )
+        if n > g.shape[0]:
+            raise StructureError(
+                f"n={n} exceeds the {g.shape[0]} rows of g"
+            )
+        rows = np.repeat(np.arange(n, dtype=np.int64), g.shape[1])
+        cols = g[:n].ravel()
+        mask = cols < rows
+        rows, cols = rows[mask], cols[mask]
+        # Negative references would corrupt the pair encoding below;
+        # surface the same error the constructor would have raised.
+        check_index_array(cols, n, "indices")
+        # Collapse duplicate (i, j) pairs; sorting the encoded pairs
+        # also yields ascending dependences within each row, matching
+        # the reference per-row np.unique construction.
+        if cols.size:
+            uniq = np.unique(rows * n + cols)
+            rows, cols = uniq // n, uniq % n
+        indptr = counts_to_indptr(np.bincount(rows, minlength=n))
+        return cls(indptr, cols, n, check_acyclic=False)
 
     @classmethod
     def from_lower_csr(cls, l: CSRMatrix) -> "DependenceGraph":
@@ -189,35 +194,37 @@ class DependenceGraph:
         return bool(np.all(self.indices < rows))
 
     def successors(self) -> tuple[np.ndarray, np.ndarray]:
-        """CSR of the reversed edges: who depends on me (cached)."""
+        """CSR of the reversed edges: who depends on me (cached).
+
+        Built with one stable ``argsort`` over the edge list — O(e log e)
+        numpy work instead of a Python-level visit per edge; the stable
+        sort reproduces the per-edge fill order of
+        :func:`repro.core.reference.successors` exactly.
+        """
         if self._succ_indptr is None:
-            counts = np.bincount(self.indices, minlength=self.n)
-            indptr = np.zeros(self.n + 1, dtype=np.int64)
-            np.cumsum(counts, out=indptr[1:])
-            fill = indptr[:-1].copy()
-            succ = np.empty(self.num_edges, dtype=np.int64)
+            e = self.num_edges
+            indptr = counts_to_indptr(np.bincount(self.indices, minlength=self.n))
             rows = np.repeat(np.arange(self.n, dtype=np.int64), self.dep_counts())
-            for k in range(self.num_edges):
-                j = self.indices[k]
-                succ[fill[j]] = rows[k]
-                fill[j] += 1
+            if e and self.n * e < 2**62:
+                # Unique composite keys (target, edge position) let the
+                # default introsort stand in for a stable sort — ~3×
+                # faster than mergesort on int64 at 10^6 edges.
+                order = np.argsort(
+                    self.indices * e + np.arange(e, dtype=np.int64)
+                )
+            else:
+                order = np.argsort(self.indices, kind="stable")
+            succ = rows[order]
             self._succ_indptr, self._succ_indices = indptr, succ
         return self._succ_indptr, self._succ_indices
 
     def _check_dag(self) -> None:
-        """Kahn's algorithm; raises :class:`StructureError` on a cycle."""
-        indeg = self.dep_counts().copy()
-        stack = list(np.nonzero(indeg == 0)[0])
+        """Frontier Kahn sweep; raises :class:`StructureError` on a cycle."""
         succ_indptr, succ_indices = self.successors()
-        seen = 0
-        while stack:
-            j = stack.pop()
-            seen += 1
-            for i in succ_indices[succ_indptr[j] : succ_indptr[j + 1]]:
-                indeg[i] -= 1
-                if indeg[i] == 0:
-                    stack.append(int(i))
-        if seen != self.n:
+        _, _, visited = frontier_sweep(
+            succ_indptr, succ_indices, self.dep_counts().astype(np.int64), self.n
+        )
+        if visited != self.n:
             raise StructureError("dependence graph contains a cycle")
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

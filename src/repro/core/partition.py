@@ -68,13 +68,18 @@ def blocked_partition(n: int, nproc: int) -> np.ndarray:
     return np.repeat(np.arange(nproc, dtype=np.int64), sizes)
 
 
-@register_partitioner("chunked")
+@register_partitioner("chunked", param="chunk")
 def chunked_partition(n: int, nproc: int, chunk: int = 16) -> np.ndarray:
     """Owner array for round-robin chunks of ``chunk`` consecutive indices.
 
     OpenMP's ``schedule(static, chunk)``: chunk ``c`` goes to processor
     ``c mod p``.  ``chunk=1`` degenerates to the wrapped assignment,
     very large ``chunk`` to (uneven) blocks.
+
+    The chunk size is settable anywhere an assignment string is
+    accepted via the parameterized spec ``"chunked:<size>"`` (e.g.
+    ``rt.compile(ia, assignment="chunked:64")``); the plain name
+    ``"chunked"`` keeps the default of 16.
     """
     n = int(n)
     nproc = check_positive(nproc, "nproc")

@@ -33,6 +33,7 @@ import numpy as np
 from ..errors import ScheduleError, ValidationError
 from ..runtime.registry import register_scheduler
 from ..util.validation import check_positive
+from . import reference
 from .partition import owner_from_assignment, wrapped_partition
 from .dependence import DependenceGraph
 
@@ -96,28 +97,55 @@ class Schedule:
     def num_wavefronts(self) -> int:
         return int(self.wavefronts.max()) + 1 if self.n else 0
 
+    def _flat_with_procs(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Concatenated local lists, their processor tags, list lengths."""
+        lengths = np.asarray(
+            [lst.shape[0] for lst in self.local_order], dtype=np.int64
+        )
+        flat = (
+            np.concatenate(self.local_order)
+            if lengths.sum()
+            else np.empty(0, dtype=np.int64)
+        )
+        procs = np.repeat(np.arange(self.nproc, dtype=np.int64), lengths)
+        return flat, procs, lengths
+
     def validate(self) -> None:
-        """Check the schedule is a consistent permutation of ``0..n-1``."""
-        seen = np.zeros(self.n, dtype=bool)
-        for p, lst in enumerate(self.local_order):
-            if lst.size and (lst.min() < 0 or lst.max() >= self.n):
-                raise ScheduleError(f"processor {p} schedules out-of-range indices")
-            if np.any(self.owner[lst] != p):
-                raise ScheduleError(
-                    f"processor {p}'s list contains indices it does not own"
-                )
-            if np.any(seen[lst]):
-                raise ScheduleError("an index appears on more than one processor")
-            seen[lst] = True
-        if not np.all(seen):
-            missing = int(np.count_nonzero(~seen))
+        """Check the schedule is a consistent permutation of ``0..n-1``.
+
+        One pass of whole-schedule numpy reductions (range, ownership,
+        coverage via ``bincount``) instead of a per-processor sweep —
+        semantically the per-processor
+        :func:`repro.core.reference.validate_schedule`.
+        """
+        flat, procs, _ = self._flat_with_procs()
+        if flat.size and (flat.min() < 0 or flat.max() >= self.n):
+            bad = (flat < 0) | (flat >= self.n)
+            raise ScheduleError(
+                f"processor {int(procs[np.argmax(bad)])} schedules "
+                "out-of-range indices"
+            )
+        mismatch = self.owner[flat] != procs
+        if np.any(mismatch):
+            raise ScheduleError(
+                f"processor {int(procs[np.argmax(mismatch)])}'s list "
+                "contains indices it does not own"
+            )
+        times_scheduled = np.bincount(flat, minlength=self.n)
+        if np.any(times_scheduled > 1):
+            raise ScheduleError("an index appears on more than one processor")
+        if flat.size != self.n:
+            missing = int(np.count_nonzero(times_scheduled == 0))
             raise ScheduleError(f"{missing} indices are scheduled on no processor")
 
     def position(self) -> np.ndarray:
         """``position[i]`` = rank of index ``i`` within its processor's list."""
+        flat, _, lengths = self._flat_with_procs()
         pos = np.empty(self.n, dtype=np.int64)
-        for lst in self.local_order:
-            pos[lst] = np.arange(lst.shape[0])
+        offsets = np.cumsum(lengths) - lengths
+        pos[flat] = np.arange(flat.size, dtype=np.int64) - np.repeat(
+            offsets, lengths
+        )
         return pos
 
     def flattened(self) -> np.ndarray:
@@ -137,17 +165,28 @@ class Schedule:
         processors synchronize before the next phase begins.
         """
         nw = self.num_wavefronts
-        out: list[list[np.ndarray]] = [[] for _ in range(nw)]
-        for p, lst in enumerate(self.local_order):
-            wfs = self.wavefronts[lst]
-            if lst.size and np.any(np.diff(wfs) < 0):
+        flat, procs, _ = self._flat_with_procs()
+        wfs = self.wavefronts[flat]
+        if flat.size > 1:
+            # A wavefront decrease is only legal where the processor
+            # changes; anywhere else the list is mis-sorted.
+            decreasing = (np.diff(wfs) < 0) & (procs[1:] == procs[:-1])
+            if np.any(decreasing):
                 raise ScheduleError(
-                    f"processor {p}'s list is not sorted by wavefront; "
-                    "a pre-scheduled execution would violate dependences"
+                    f"processor {int(procs[1:][np.argmax(decreasing)])}'s "
+                    "list is not sorted by wavefront; a pre-scheduled "
+                    "execution would violate dependences"
                 )
-            bounds = np.searchsorted(wfs, np.arange(nw + 1))
+        # ``(processor, wavefront)`` keys are non-decreasing along the
+        # flattened schedule, so every phase cell is one searchsorted
+        # slice of it.
+        key = procs * nw + wfs if nw else procs
+        bounds = np.searchsorted(key, np.arange(self.nproc * nw + 1))
+        out: list[list[np.ndarray]] = [[] for _ in range(nw)]
+        for p in range(self.nproc):
             for w in range(nw):
-                out[w].append(lst[bounds[w] : bounds[w + 1]])
+                cell = p * nw + w
+                out[w].append(flat[bounds[cell] : bounds[cell + 1]])
         return out
 
     def work_per_processor(self, weights: np.ndarray | None = None) -> np.ndarray:
@@ -207,17 +246,14 @@ def global_schedule(
         owner[order] = np.arange(n, dtype=np.int64) % nproc
     elif balance == "greedy":
         if weights is None:
-            weights = np.ones(n, dtype=np.float64)
-        load = np.zeros(nproc, dtype=np.float64)
-        nw = int(wf.max()) + 1 if n else 0
-        bounds = np.searchsorted(wf[order], np.arange(nw + 1))
-        for w in range(nw):
-            members = order[bounds[w] : bounds[w + 1]]
-            heavy_first = members[np.argsort(-weights[members], kind="stable")]
-            for i in heavy_first:
-                p = int(np.argmin(load))
-                owner[i] = p
-                load[p] += weights[i]
+            # Unit weights make the greedy recurrence closed-form
+            # (load[p] after j assignments is exactly j + load0[p]),
+            # so the whole inner loop vectorizes; see _greedy_unit_owner.
+            owner = _greedy_unit_owner(wf, order, nproc)
+        else:
+            # Load-dependent increments are inherently sequential for
+            # general weights — keep the reference loop.
+            owner = reference.greedy_owner(wf, weights, nproc)
     else:
         raise ValidationError(f"unknown balance strategy {balance!r}")
 
@@ -256,6 +292,52 @@ def identity_schedule(wf: np.ndarray, nproc: int, owner=None) -> Schedule:
                     wavefronts=wf, strategy="identity")
 
 
+def _greedy_unit_owner(wf: np.ndarray, order: np.ndarray, nproc: int) -> np.ndarray:
+    """Vectorized unit-weight greedy balance, exactly matching the
+    sequential :func:`repro.core.reference.greedy_owner` loop.
+
+    With unit weights, processor ``p``'s load after receiving ``j``
+    indices in a wavefront is ``load0[p] + j``; the sequential
+    argmin-of-loads choice therefore assigns the ``t``-th index of the
+    wavefront to the ``t``-th smallest ``(load0[p] + j, p)`` pair —
+    a merge of ``nproc`` sorted lists, computed with one lexsort per
+    wavefront instead of one argmin per index.
+    """
+    n = wf.shape[0]
+    owner = np.empty(n, dtype=np.int64)
+    load = np.zeros(nproc, dtype=np.float64)
+    nw = int(wf.max()) + 1 if n else 0
+    bounds = np.searchsorted(wf[order], np.arange(nw + 1))
+    proc_ids = np.arange(nproc, dtype=np.int64)
+    for w in range(nw):
+        members = order[bounds[w] : bounds[w + 1]]
+        m = members.shape[0]
+        if not m:
+            continue
+        # Candidate keys: proc p's j-th assignment costs load[p] + j,
+        # ties broken by processor number like np.argmin.  Each proc
+        # can receive at most ~⌈m/nproc⌉ of the m picks (unit-weight
+        # greedy keeps loads within 1 of each other), so candidates
+        # are capped there — O(m + nproc) memory, not O(m · nproc) —
+        # and re-widened in the rare case a proc exhausts its cap.
+        cap = min(m, -(-m // nproc) + 2)
+        while True:
+            prio = (load[:, None]
+                    + np.arange(cap, dtype=np.float64)[None, :]).ravel()
+            cand_proc = np.repeat(proc_ids, cap)
+            chosen = cand_proc[np.lexsort((cand_proc, prio))[:m]]
+            counts = np.bincount(chosen, minlength=nproc)
+            # A proc using *all* its candidates might have deserved
+            # more than the cap provided; everything below cap is
+            # provably complete.
+            if cap >= m or counts.max() < cap:
+                break
+            cap = min(m, cap * 2)
+        owner[members] = chosen
+        load += counts
+    return owner
+
+
 def _local_lists(owner: np.ndarray, wf: np.ndarray, nproc: int) -> list[np.ndarray]:
     """Per-processor lists sorted by (wavefront, index)."""
     n = owner.shape[0]
@@ -268,17 +350,24 @@ def _local_lists(owner: np.ndarray, wf: np.ndarray, nproc: int) -> list[np.ndarr
 # Registry adapters — the open scheduler set
 # ----------------------------------------------------------------------
 
-@register_scheduler("global")
+# ``consumes_balance`` tells the Runtime's schedule-cache key builder
+# whether ``balance=`` changes this scheduler's output; schedulers that
+# ignore it (local, identity) share one cache entry across balance
+# strings.  User-registered schedulers default to consuming it — the
+# conservative choice: never serve a schedule the strategy might not
+# have built.
+
+@register_scheduler("global", consumes_balance=True)
 def _global_adapter(wf, owner, nproc, *, balance="wrapped", weights=None):
     return global_schedule(wf, nproc, weights=weights, balance=balance)
 
 
-@register_scheduler("local")
+@register_scheduler("local", consumes_balance=False)
 def _local_adapter(wf, owner, nproc, *, balance="wrapped", weights=None):
     return local_schedule(wf, owner, nproc)
 
 
-@register_scheduler("identity")
+@register_scheduler("identity", consumes_balance=False)
 def _identity_adapter(wf, owner, nproc, *, balance="wrapped", weights=None):
     return identity_schedule(wf, nproc, owner=owner)
 

@@ -20,6 +20,14 @@ is accepted (``Runtime.compile``, ``doconsider``, ``Inspector``), and
 unknown names fail *eagerly* with the currently valid options
 enumerated.
 
+Parameterized strategy specs
+----------------------------
+A strategy registered with ``param="kwarg_name"`` metadata accepts an
+integer parameter in its lookup string, separated by a colon —
+``"chunked:64"`` resolves to the ``chunked`` entry with ``chunk=64``
+bound.  The full spec string participates in schedule-cache keys, so
+different parameter values never share a cache entry.
+
 Registration contracts
 ----------------------
 * **partitioner** — ``fn(n, nproc) -> owner`` (int array, length ``n``,
@@ -35,6 +43,8 @@ Registration contracts
 """
 
 from __future__ import annotations
+
+import functools
 
 from ..errors import ValidationError
 
@@ -90,31 +100,69 @@ class Registry:
             return _install
         return _install(obj)
 
+    def _unknown(self, name: str) -> ValidationError:
+        return ValidationError(
+            f"unknown {self.kind} {name!r}; valid options are: "
+            f"{self.options()}"
+        )
+
     def unregister(self, name: str) -> None:
-        """Remove an entry (useful for scoped/test registrations)."""
-        self.get(name)
+        """Remove an entry (exact names only — specs don't resolve here)."""
+        if name not in self._entries:
+            raise self._unknown(name)
         del self._entries[name]
         del self._metadata[name]
 
+    def _resolve(self, name: str):
+        """Resolve a name or ``base:param`` spec to its base entry.
+
+        Returns ``(base, entry, param_binding)`` where ``param_binding``
+        is ``None`` for a plain name and a ``{kwarg: int}`` dict for a
+        parameterized spec.  Raises :class:`ValidationError` for
+        unknown names, specs whose base entry declares no ``param``
+        metadata, and non-integer parameter values.
+        """
+        entry = self._entries.get(name)
+        if entry is not None:
+            return name, entry, None
+        if isinstance(name, str) and ":" in name:
+            base, _, raw = name.partition(":")
+            base_entry = self._entries.get(base)
+            if base_entry is not None:
+                kwarg = self._metadata[base].get("param")
+                if kwarg is None:
+                    raise ValidationError(
+                        f"{self.kind} {base!r} does not accept a parameter "
+                        f"(got {name!r})"
+                    )
+                try:
+                    value = int(raw)
+                except ValueError:
+                    raise ValidationError(
+                        f"{self.kind} parameter in {name!r} must be an "
+                        f"integer, got {raw!r}"
+                    ) from None
+                return base, base_entry, {kwarg: value}
+        raise self._unknown(name)
+
     def get(self, name: str):
-        """Look up ``name``, raising with the valid options on a miss."""
-        try:
-            return self._entries[name]
-        except KeyError:
-            raise ValidationError(
-                f"unknown {self.kind} {name!r}; valid options are: "
-                f"{self.options()}"
-            ) from None
+        """Look up ``name`` (or a ``base:param`` spec), raising with the
+        valid options on a miss.  Parameterized specs return the base
+        entry with the parameter bound as a keyword argument."""
+        _, entry, binding = self._resolve(name)
+        if binding is None:
+            return entry
+        return functools.partial(entry, **binding)
 
     def validate(self, name: str) -> str:
         """Assert ``name`` is registered (same error as :meth:`get`)."""
-        self.get(name)
+        self._resolve(name)
         return name
 
     def version(self, name: str) -> int:
         """Registration generation of ``name`` (bumped on re-register)."""
-        self.get(name)
-        return self._versions[name]
+        base, _, _ = self._resolve(name)
+        return self._versions[base]
 
     def fingerprint(self, name: str) -> str:
         """Identity of ``name``'s current implementation, for cache keys.
@@ -126,17 +174,21 @@ class Registry:
         collide — never serves schedules the previous implementation
         built).
         """
-        obj = self.get(name)
+        base, obj, binding = self._resolve(name)
         code = getattr(obj, "__code__", None)
         loc = f"@{code.co_firstlineno}" if code is not None else ""
         module = getattr(obj, "__module__", "?")
         qualname = getattr(obj, "__qualname__", type(obj).__name__)
-        return f"{module}.{qualname}{loc}#v{self._versions[name]}"
+        param = "" if binding is None else f"({sorted(binding.items())})"
+        return f"{module}.{qualname}{loc}{param}#v{self._versions[base]}"
 
     def metadata(self, name: str) -> dict:
-        """Metadata keywords attached at registration (copy)."""
-        self.get(name)
-        return dict(self._metadata[name])
+        """Metadata keywords attached at registration (copy).
+
+        A ``base:param`` spec resolves to its base entry's metadata.
+        """
+        base, _, _ = self._resolve(name)
+        return dict(self._metadata[base])
 
     def options(self) -> str:
         """The registered names, rendered for error messages."""

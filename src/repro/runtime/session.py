@@ -309,8 +309,17 @@ class Runtime:
             )
 
         dep = self._inspector.dependences_of(deps)
+        # ``balance`` enters the cache key only when the resolved
+        # scheduler actually consumes it (``consumes_balance``
+        # metadata) — otherwise compiles differing only in an ignored
+        # balance string would cold-inspect identical structure.
+        # Unregistered metadata defaults to consuming (conservative).
+        consumes_balance = scheduler_registry.metadata(strategy).get(
+            "consumes_balance", True
+        )
         key = ScheduleCache.key_for(
-            dep, self.nproc, strategy, assignment, balance, self.costs,
+            dep, self.nproc, strategy, assignment,
+            balance if consumes_balance else "", self.costs,
             # Implementation fingerprints: shadowing a strategy name —
             # here or in a previous run sharing the persistence dir —
             # must not serve schedules another implementation built.

@@ -394,3 +394,61 @@ class TestRuntimeSession:
             ia, scheduler="local", assignment="chunked",
         )(SimpleLoopKernel(x0, b, ia))
         np.testing.assert_allclose(rep.x, oracle)
+
+
+class TestParameterizedAssignments:
+    """Satellite bug: ``chunked``'s chunk size used to be unreachable —
+    the registry adapter always called ``fn(n, nproc)``, so every user
+    got the default of 16.  ``"chunked:<size>"`` now reaches it."""
+
+    def test_spec_binds_the_chunk_size(self):
+        from repro.core.partition import chunked_partition
+        fn = partitioner_registry.get("chunked:4")
+        np.testing.assert_array_equal(
+            fn(20, 2), chunked_partition(20, 2, chunk=4))
+        # The plain name keeps the default.
+        np.testing.assert_array_equal(
+            partitioner_registry.get("chunked")(64, 2),
+            chunked_partition(64, 2, chunk=16))
+
+    def test_compile_uses_the_parameter(self, case):
+        x0, b, ia, oracle = case
+        loop = Runtime(nproc=2).compile(
+            ia, scheduler="identity", assignment="chunked:1",
+        )
+        # chunk=1 degenerates to the wrapped assignment.
+        np.testing.assert_array_equal(
+            loop.schedule.owner, np.arange(len(ia)) % 2)
+        rep = loop(SimpleLoopKernel(x0, b, ia))
+        np.testing.assert_allclose(rep.x, oracle)
+
+    def test_chunk_size_is_in_the_cache_key(self, case):
+        _, _, ia, _ = case
+        rt = Runtime(nproc=4)
+        rt.compile(ia, scheduler="local", assignment="chunked:8")
+        assert rt.compile(ia, scheduler="local",
+                          assignment="chunked:8").cache_hit
+        assert not rt.compile(ia, scheduler="local",
+                              assignment="chunked:32").cache_hit
+        assert not rt.compile(ia, scheduler="local",
+                              assignment="chunked").cache_hit
+
+    def test_bad_specs_fail_eagerly(self, case):
+        _, _, ia, _ = case
+        with pytest.raises(ValidationError, match="does not accept a parameter"):
+            Runtime(nproc=2).compile(ia, assignment="wrapped:4")
+        with pytest.raises(ValidationError, match="must be an integer"):
+            Runtime(nproc=2).compile(ia, assignment="chunked:huge")
+        with pytest.raises(ValidationError, match="valid options are"):
+            Runtime(nproc=2).compile(ia, assignment="nope:4")
+
+    def test_chunk_must_be_positive(self, case):
+        _, _, ia, _ = case
+        with pytest.raises(ValidationError, match="positive"):
+            Runtime(nproc=2).compile(ia, assignment="chunked:0")
+
+    def test_doconsider_accepts_specs_too(self, case):
+        x0, b, ia, oracle = case
+        out = doconsider(SimpleLoopKernel(x0, b, ia), deps=ia, nproc=4,
+                         scheduler="local", assignment="chunked:2")
+        np.testing.assert_allclose(out.x, oracle)

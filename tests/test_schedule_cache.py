@@ -115,6 +115,90 @@ class TestHitMiss:
         np.testing.assert_allclose(rep.x, oracle)
 
 
+class TestStats:
+    """Hit-rate accounting across the memory and disk tiers."""
+
+    def test_disk_hits_count_toward_hit_rate(self, case, tmp_path):
+        _, _, ia = case
+        rt1 = Runtime(nproc=4, cache=8, cache_dir=tmp_path)
+        rt1.compile(ia)  # cold miss + disk store
+        assert rt1.cache_stats.misses == 1
+        assert rt1.cache_stats.hit_rate == 0.0
+
+        rt2 = Runtime(nproc=4, cache=8, cache_dir=tmp_path)
+        rt2.compile(ia)            # disk hit
+        rt2.compile(ia)            # memory hit
+        stats = rt2.cache_stats
+        assert (stats.hits, stats.disk_hits, stats.misses) == (1, 1, 0)
+        assert stats.lookups == 2
+        assert stats.hit_rate == 1.0
+        assert stats.memory_hit_rate == 0.5
+
+    def test_memory_only_rates_agree(self, case):
+        _, _, ia = case
+        rt = Runtime(nproc=4)
+        rt.compile(ia)
+        rt.compile(ia)
+        stats = rt.cache_stats
+        assert (stats.hits, stats.disk_hits, stats.misses) == (1, 0, 1)
+        assert stats.hit_rate == 0.5
+        assert stats.memory_hit_rate == 0.5
+
+    def test_true_miss_still_counts(self, case, tmp_path):
+        _, _, ia = case
+        rt = Runtime(nproc=4, cache=8, cache_dir=tmp_path)
+        rt.compile(ia)
+        assert rt.cache_stats.misses == 1
+        assert rt.cache_stats.disk_hits == 0
+
+
+class TestBalanceKeyNormalization:
+    """Satellite bug: ``balance`` polluted the key for schedulers that
+    ignore it, forcing cold re-inspections of identical structure."""
+
+    def test_local_compiles_share_entry_across_balance(self, case):
+        _, _, ia = case
+        rt = Runtime(nproc=4)
+        first = rt.compile(ia, scheduler="local", balance="greedy")
+        second = rt.compile(ia, scheduler="local", balance="wrapped")
+        assert not first.cache_hit
+        assert second.cache_hit
+        assert second.inspection is first.inspection
+
+    def test_identity_compiles_share_entry_across_balance(self, case):
+        _, _, ia = case
+        rt = Runtime(nproc=4)
+        rt.compile(ia, scheduler="identity", balance="greedy")
+        assert rt.compile(ia, scheduler="identity", balance="wrapped").cache_hit
+
+    def test_global_still_keys_on_balance(self, case):
+        _, _, ia = case
+        rt = Runtime(nproc=4)
+        first = rt.compile(ia, scheduler="global", balance="greedy")
+        second = rt.compile(ia, scheduler="global", balance="wrapped")
+        assert not second.cache_hit
+        assert first.schedule.strategy == "global/greedy"
+        assert second.schedule.strategy == "global/wrapped"
+
+    def test_custom_scheduler_conservatively_keys_on_balance(self, case):
+        _, _, ia = case
+        from repro.core.schedule import local_schedule
+        from repro.runtime import register_scheduler, scheduler_registry
+
+        @register_scheduler("test-balance-blind")
+        def blind(wf, owner, nproc, *, balance="wrapped", weights=None):
+            return local_schedule(wf, owner, nproc)
+
+        try:
+            rt = Runtime(nproc=4)
+            rt.compile(ia, scheduler="test-balance-blind", balance="a")
+            # No consumes_balance metadata: assume it matters.
+            assert not rt.compile(ia, scheduler="test-balance-blind",
+                                  balance="b").cache_hit
+        finally:
+            scheduler_registry.unregister("test-balance-blind")
+
+
 class TestEviction:
     def test_lru_evicts_oldest(self, case):
         _, _, ia = case
@@ -159,7 +243,10 @@ class TestPersistence:
         loop2 = rt2.compile(ia, scheduler="global")
         assert loop2.cache_hit
         assert rt2.cache_stats.disk_hits == 1
-        assert rt2.cache_stats.misses == 1  # memory missed, disk served
+        # A disk-served lookup skipped the cold inspection, so it is a
+        # hit — not a miss (regression: it used to be double-counted).
+        assert rt2.cache_stats.misses == 0
+        assert rt2.cache_stats.hit_rate == 1.0
 
         # The resurrected schedule is the same object, field by field.
         s1, s2 = loop1.schedule, loop2.schedule

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.core import reference
 from repro.core.dependence import DependenceGraph
 from repro.core.wavefront import (
     compute_wavefronts,
@@ -12,6 +13,11 @@ from repro.core.wavefront import (
     wavefront_members,
 )
 from repro.errors import StructureError
+
+
+def empty_graph() -> DependenceGraph:
+    return DependenceGraph(np.zeros(1, dtype=np.int64),
+                           np.empty(0, dtype=np.int64), 0)
 
 
 class TestSweep:
@@ -49,6 +55,64 @@ class TestSweep:
         dep = DependenceGraph.from_edges([(0, 2), (1, 0)], 3)
         wf = compute_wavefronts_general(dep)
         np.testing.assert_array_equal(wf, [1, 2, 0])
+
+    def test_general_detects_cycle(self):
+        dep = DependenceGraph(np.array([0, 1, 2]), np.array([1, 0]), 2,
+                              check_acyclic=False)
+        with pytest.raises(StructureError, match="cycle"):
+            compute_wavefronts_general(dep)
+
+
+class TestReferenceOracle:
+    """Edge cases where vectorized and reference sweeps must agree."""
+
+    def test_empty_graph(self):
+        dep = empty_graph()
+        for fn in (compute_wavefronts, compute_wavefronts_general,
+                   reference.compute_wavefronts,
+                   reference.compute_wavefronts_general):
+            wf = fn(dep)
+            assert wf.shape == (0,)
+        assert critical_path_length(compute_wavefronts(dep)) == 0
+
+    def test_single_index(self):
+        dep = DependenceGraph.from_edges([], 1)
+        for fn in (compute_wavefronts, reference.compute_wavefronts):
+            np.testing.assert_array_equal(fn(dep), [0])
+
+    def test_single_index_self_free_chain(self):
+        dep = DependenceGraph.from_edges([(1, 0)], 2)
+        np.testing.assert_array_equal(compute_wavefronts(dep),
+                                      reference.compute_wavefronts(dep))
+
+    def test_duplicate_edges(self):
+        dep = DependenceGraph.from_edges([(1, 0), (1, 0), (2, 1)], 3)
+        np.testing.assert_array_equal(compute_wavefronts(dep),
+                                      reference.compute_wavefronts(dep))
+        si, ss = dep.successors()
+        ri, rs = reference.successors(dep)
+        np.testing.assert_array_equal(si, ri)
+        np.testing.assert_array_equal(ss, rs)
+
+    def test_all_backward_chain_matches(self):
+        n = 400  # deep narrow graph: one index per wavefront
+        dep = DependenceGraph.from_edges([(i, i - 1) for i in range(1, n)], n)
+        np.testing.assert_array_equal(compute_wavefronts(dep),
+                                      reference.compute_wavefronts(dep))
+
+    def test_general_dag_matches(self):
+        rng = np.random.default_rng(3)
+        perm = rng.permutation(60)
+        edges = [(perm[i], perm[rng.integers(0, i)]) for i in range(1, 60)]
+        dep = DependenceGraph.from_edges(edges, 60)
+        np.testing.assert_array_equal(
+            compute_wavefronts_general(dep),
+            reference.compute_wavefronts_general(dep))
+
+    def test_reference_rejects_forward_deps_too(self):
+        dep = DependenceGraph.from_edges([(0, 2)], 3)
+        with pytest.raises(StructureError):
+            reference.compute_wavefronts(dep)
 
 
 class TestModelProblemWavefronts:
