@@ -50,6 +50,7 @@ from .runtime import (
     register_partitioner,
     register_backend,
 )
+from .tuning import Tuner, TuningStore, TuningVerdict
 
 __version__ = "1.1.0"
 
@@ -58,6 +59,9 @@ __all__ = [
     "CompiledLoop",
     "RunReport",
     "ScheduleCache",
+    "Tuner",
+    "TuningStore",
+    "TuningVerdict",
     "register_executor",
     "register_scheduler",
     "register_partitioner",

@@ -39,7 +39,7 @@ from ..sparse.csr import CSRMatrix
 from ..util.timing import Stopwatch
 from .dependence import DependenceGraph
 from .partition import owner_from_assignment
-from .schedule import Schedule, identity_schedule
+from .schedule import WEIGHT_SOURCES, Schedule, identity_schedule
 from .wavefront import compute_wavefronts
 
 __all__ = ["Inspector", "InspectionResult", "InspectorCosts"]
@@ -169,10 +169,14 @@ class Inspector:
         balance:
             Passed to :func:`~repro.core.schedule.global_schedule`.
         """
-        # Resolve both strategies up front, so an unknown name fails
-        # with the valid options enumerated before any work is done.
+        # Resolve both strategies up front, so an unknown name — or an
+        # unknown weight source in a "name:weights=…" spec — fails with
+        # the valid options enumerated before any work is done.
         schedule_fn = scheduler_registry.get(strategy)
         partition_fn = partitioner_registry.get(assignment)
+        binding = scheduler_registry.binding(strategy)
+        if isinstance(binding.get("weights"), str):
+            self.check_weight_source(binding["weights"])
 
         sw = Stopwatch().start()
         dep = self.dependences_of(source)
@@ -183,7 +187,14 @@ class Inspector:
         else:
             init_owner = partition_fn(dep.n, nproc)
 
-        schedule = schedule_fn(wf, init_owner, nproc, balance=balance)
+        kwargs = {"balance": balance}
+        if isinstance(binding.get("weights"), str):
+            # A "name:weights=…" spec names a weight *source*; only the
+            # inspector holds the graph and cost model to realize it.
+            kwargs["weights"] = self.resolve_weight_source(
+                binding["weights"], dep
+            )
+        schedule = schedule_fn(wf, init_owner, nproc, **kwargs)
         sw.stop()
 
         return InspectionResult(
@@ -194,6 +205,31 @@ class Inspector:
             costs=self.price_inspection(dep, wf, nproc, init_owner),
             host_seconds=sw.elapsed,
         )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def check_weight_source(source: str) -> str:
+        """Assert a ``weights=`` spec value names a known source."""
+        if source not in WEIGHT_SOURCES:
+            raise ValidationError(
+                f"unknown weight source {source!r}; valid sources are: "
+                + ", ".join(repr(s) for s in WEIGHT_SOURCES)
+            )
+        return source
+
+    def resolve_weight_source(self, source: str, dep: DependenceGraph) -> np.ndarray | None:
+        """Realize a ``weights=`` spec value as a per-index array.
+
+        ``"unit"`` means unweighted (``None``); ``"deps"`` weighs each
+        index by its dependence count; ``"work"`` by its modelled
+        execution cost.  Anything else fails with the options listed.
+        """
+        self.check_weight_source(source)
+        if source == "unit":
+            return None
+        if source == "deps":
+            return dep.dep_counts().astype(np.float64)
+        return self.machine_costs.base_work(dep.dep_counts())
 
     # ------------------------------------------------------------------
     def price_inspection(

@@ -40,6 +40,7 @@ from .dependence import DependenceGraph
 __all__ = [
     "Schedule",
     "BALANCE_OPTIONS",
+    "WEIGHT_SOURCES",
     "global_schedule",
     "local_schedule",
     "identity_schedule",
@@ -357,8 +358,30 @@ def _local_lists(owner: np.ndarray, wf: np.ndarray, nproc: int) -> list[np.ndarr
 # conservative choice: never serve a schedule the strategy might not
 # have built.
 
-@register_scheduler("global", consumes_balance=True)
+#: Valid ``weights=`` sources of the ``"global:weights=…"`` spec:
+#: ``unit`` — unweighted greedy (the default ``weights=None``);
+#: ``deps`` — each index weighs its dependence count;
+#: ``work`` — each index weighs its modelled execution cost
+#: (:meth:`~repro.machine.costs.MachineCosts.base_work`).
+WEIGHT_SOURCES = ("unit", "deps", "work")
+
+
+@register_scheduler("global", consumes_balance=True,
+                    params={"weights": str})
 def _global_adapter(wf, owner, nproc, *, balance="wrapped", weights=None):
+    # A string reaching this adapter is a weight *source* from a
+    # ``"global:weights=…"`` spec that nothing resolved to an array —
+    # the Inspector does that (it holds the dependence graph and cost
+    # model); direct registry users must pass the array themselves.
+    if isinstance(weights, str):
+        if weights == "unit":
+            weights = None
+        else:
+            raise ValidationError(
+                f"weight source {weights!r} must be resolved to an array "
+                "before scheduling (the Inspector/Runtime path does this); "
+                f"valid sources are: {', '.join(WEIGHT_SOURCES)}"
+            )
     return global_schedule(wf, nproc, weights=weights, balance=balance)
 
 

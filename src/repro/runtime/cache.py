@@ -38,7 +38,7 @@ import numpy as np
 
 from ..errors import ValidationError
 
-__all__ = ["ScheduleCache", "CacheStats"]
+__all__ = ["ScheduleCache", "CacheStats", "LruStoreBase"]
 
 
 @dataclass
@@ -81,7 +81,46 @@ class CacheStats:
         return dataclasses.replace(self)
 
 
-class ScheduleCache:
+class LruStoreBase:
+    """Shared skeleton of the verdict/schedule stores: a bounded LRU
+    map with :class:`CacheStats` accounting and an optional
+    persistence directory.  Subclasses implement ``get``/``put`` (the
+    serialization formats differ); eviction, recency and the counters
+    live here so a fix to one store cannot be forgotten in the other.
+    """
+
+    #: Used in validation error messages ("cache", "tuning store", …).
+    kind = "cache"
+
+    def __init__(self, maxsize: int, persist_dir=None):
+        if maxsize <= 0:
+            raise ValidationError(f"{self.kind} maxsize must be positive")
+        self.maxsize = int(maxsize)
+        self.persist_dir = Path(persist_dir) if persist_dir is not None else None
+        if self.persist_dir is not None:
+            self.persist_dir.mkdir(parents=True, exist_ok=True)
+        self._entries: OrderedDict[str, object] = OrderedDict()
+        self.stats = CacheStats()
+
+    def _install(self, key: str, value) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop the in-memory entries (disk entries are kept)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key) -> bool:
+        return key in self._entries
+
+
+class ScheduleCache(LruStoreBase):
     """LRU cache of :class:`~repro.core.inspector.InspectionResult`.
 
     Parameters
@@ -96,14 +135,7 @@ class ScheduleCache:
     """
 
     def __init__(self, maxsize: int = 128, persist_dir=None):
-        if maxsize <= 0:
-            raise ValidationError("cache maxsize must be positive")
-        self.maxsize = int(maxsize)
-        self.persist_dir = Path(persist_dir) if persist_dir is not None else None
-        if self.persist_dir is not None:
-            self.persist_dir.mkdir(parents=True, exist_ok=True)
-        self._entries: OrderedDict[str, object] = OrderedDict()
-        self.stats = CacheStats()
+        super().__init__(maxsize, persist_dir)
 
     # ------------------------------------------------------------------
     # Keys
@@ -160,13 +192,6 @@ class ScheduleCache:
         if self.persist_dir is not None:
             self._store_disk(key, inspection)
 
-    def _install(self, key: str, inspection) -> None:
-        self._entries[key] = inspection
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
-
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
@@ -221,16 +246,6 @@ class ScheduleCache:
         )
 
     # ------------------------------------------------------------------
-    def clear(self) -> None:
-        """Drop the in-memory entries (disk entries are kept)."""
-        self._entries.clear()
-
-    def __len__(self) -> int:
-        return len(self._entries)
-
-    def __contains__(self, key) -> bool:
-        return key in self._entries
-
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"ScheduleCache(entries={len(self)}/{self.maxsize}, "
                 f"hits={self.stats.hits}, disk_hits={self.stats.disk_hits}, "

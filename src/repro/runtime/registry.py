@@ -25,8 +25,13 @@ Parameterized strategy specs
 A strategy registered with ``param="kwarg_name"`` metadata accepts an
 integer parameter in its lookup string, separated by a colon —
 ``"chunked:64"`` resolves to the ``chunked`` entry with ``chunk=64``
-bound.  The full spec string participates in schedule-cache keys, so
-different parameter values never share a cache entry.
+bound.  Strategies registered with ``params={"kwarg": type, ...}``
+metadata additionally accept keyword specs — comma-separated
+``key=value`` pairs after the colon, e.g. ``"chunked:chunk=64,align=8"``
+or ``"global:weights=work"`` — each value parsed by the declared type
+(``int`` or ``str``).  The full spec string participates in
+schedule-cache keys, and the parsed binding in registry fingerprints,
+so different parameter values never share a cache entry.
 
 Registration contracts
 ----------------------
@@ -114,13 +119,16 @@ class Registry:
         del self._metadata[name]
 
     def _resolve(self, name: str):
-        """Resolve a name or ``base:param`` spec to its base entry.
+        """Resolve a name or ``base:spec`` string to its base entry.
 
         Returns ``(base, entry, param_binding)`` where ``param_binding``
-        is ``None`` for a plain name and a ``{kwarg: int}`` dict for a
-        parameterized spec.  Raises :class:`ValidationError` for
-        unknown names, specs whose base entry declares no ``param``
-        metadata, and non-integer parameter values.
+        is ``None`` for a plain name and a ``{kwarg: value}`` dict for a
+        parameterized spec — either the legacy single-int form
+        (``"chunked:64"``, needs ``param`` metadata) or the keyword form
+        (``"chunked:chunk=64,align=8"``, needs ``params`` metadata).
+        Raises :class:`ValidationError` for unknown names, specs whose
+        base entry declares no parameters, unknown keywords, and values
+        the declared type refuses to parse.
         """
         entry = self._entries.get(name)
         if entry is not None:
@@ -129,21 +137,69 @@ class Registry:
             base, _, raw = name.partition(":")
             base_entry = self._entries.get(base)
             if base_entry is not None:
-                kwarg = self._metadata[base].get("param")
-                if kwarg is None:
-                    raise ValidationError(
-                        f"{self.kind} {base!r} does not accept a parameter "
-                        f"(got {name!r})"
-                    )
-                try:
-                    value = int(raw)
-                except ValueError:
-                    raise ValidationError(
-                        f"{self.kind} parameter in {name!r} must be an "
-                        f"integer, got {raw!r}"
-                    ) from None
-                return base, base_entry, {kwarg: value}
+                return base, base_entry, self._parse_spec(base, name, raw)
         raise self._unknown(name)
+
+    def _parse_spec(self, base: str, name: str, raw: str) -> dict:
+        """Parse the part after the colon of a ``base:spec`` string."""
+        meta = self._metadata[base]
+        legacy = meta.get("param")
+        params: dict = dict(meta.get("params") or {})
+        if legacy is not None:
+            params.setdefault(legacy, int)
+        if not params:
+            raise ValidationError(
+                f"{self.kind} {base!r} does not accept a parameter "
+                f"(got {name!r})"
+            )
+        if "=" not in raw:
+            # Legacy positional form: one bare integer.
+            if legacy is None:
+                raise ValidationError(
+                    f"{self.kind} {base!r} takes keyword parameters "
+                    f"({', '.join(sorted(params))}); write "
+                    f"{base!r}:key=value, got {name!r}"
+                )
+            try:
+                return {legacy: int(raw)}
+            except ValueError:
+                raise ValidationError(
+                    f"{self.kind} parameter in {name!r} must be an "
+                    f"integer, got {raw!r}"
+                ) from None
+        binding: dict = {}
+        for pair in raw.split(","):
+            key, eq, value = pair.partition("=")
+            key = key.strip()
+            if not eq or not key:
+                raise ValidationError(
+                    f"malformed {self.kind} spec {name!r}: expected "
+                    f"comma-separated key=value pairs, got {pair!r}"
+                )
+            if key not in params:
+                raise ValidationError(
+                    f"{self.kind} {base!r} accepts no parameter {key!r}; "
+                    f"valid parameters are: {', '.join(sorted(params))}"
+                )
+            if key in binding:
+                raise ValidationError(
+                    f"duplicate parameter {key!r} in {self.kind} spec {name!r}"
+                )
+            parse = params[key]
+            try:
+                binding[key] = parse(value.strip())
+            except (TypeError, ValueError):
+                raise ValidationError(
+                    f"{self.kind} parameter {key!r} in {name!r} must be "
+                    f"a {getattr(parse, '__name__', parse)!s}, got "
+                    f"{value.strip()!r}"
+                ) from None
+        return binding
+
+    def binding(self, name: str) -> dict:
+        """Parsed parameter binding of a spec (``{}`` for a plain name)."""
+        _, _, binding = self._resolve(name)
+        return dict(binding) if binding else {}
 
     def get(self, name: str):
         """Look up ``name`` (or a ``base:param`` spec), raising with the

@@ -22,6 +22,10 @@ Strategy strings (``executor``, ``scheduler``, ``assignment``,
 ``backend``) are resolved through the open registries of
 :mod:`repro.runtime.registry` and validated eagerly — unknown names
 fail at :meth:`compile` time with the valid options enumerated.
+``Runtime.compile(deps, strategy="auto")`` delegates the whole choice
+to the :mod:`repro.tuning` subsystem: a seeded simulator-pruned search
+over the registered strategy space whose verdicts are cached in a
+persistent :class:`~repro.tuning.TuningStore`.
 """
 
 from __future__ import annotations
@@ -106,7 +110,7 @@ class CompiledLoop:
 
     def __init__(self, runtime: "Runtime", inspection, *, executor_name: str,
                  scheduler_name: str, assignment: str, executor,
-                 cache_hit: bool, compile_count: int):
+                 cache_hit: bool, compile_count: int, verdict=None):
         self.runtime = runtime
         self.inspection = inspection
         self.executor_name = executor_name
@@ -118,6 +122,9 @@ class CompiledLoop:
         self.cache_hit = cache_hit
         #: Compiles of this structure through the session, so far.
         self.compile_count = compile_count
+        #: The :class:`~repro.tuning.TuningVerdict` behind a
+        #: ``strategy="auto"`` compile (``None`` for explicit choices).
+        self.verdict = verdict
         #: Executions through this object.
         self.executions = 0
         self._default_sim: SimResult | None = None
@@ -217,6 +224,7 @@ class CompiledLoop:
             "num_wavefronts": self.inspection.num_wavefronts,
             "cache_hit": self.cache_hit,
             "compile_count": self.compile_count,
+            "tuned": self.verdict is not None,
             "executions": self.executions,
             "inspect_cost": inspect_cost,
             "parallel_time": sim.total_time,
@@ -253,12 +261,22 @@ class Runtime:
         Optional persistence directory (ignored when ``cache`` is an
         instance) — enables ``.npz`` write-through so schedules
         survive process restarts.
+    tuning:
+        ``TuningStore`` instance, an int (LRU size), or ``None`` to
+        disable verdict caching for ``strategy="auto"`` compiles.
+    tuning_dir:
+        Optional persistence directory for tuning verdicts (ignored
+        when ``tuning`` is an instance) — a warm store skips the whole
+        strategy search across process restarts.
+    tune_seed:
+        Seed of the (deterministic) strategy search.
     """
 
     def __init__(self, nproc: int = 8, *, backend: str = "serial",
                  costs: MachineCosts = MULTIMAX_320,
                  cache: ScheduleCache | int | None = 128,
-                 cache_dir=None):
+                 cache_dir=None, tuning=64, tuning_dir=None,
+                 tune_seed: int = 0):
         from ..core.inspector import Inspector  # deferred: import cycle
 
         self.nproc = check_positive(nproc, "nproc")
@@ -271,6 +289,17 @@ class Runtime:
         else:
             self.cache = ScheduleCache(maxsize=int(cache),
                                        persist_dir=cache_dir)
+        if tuning is None:
+            self.tuning_store = None
+        elif isinstance(tuning, int):
+            from ..tuning.store import TuningStore  # deferred: import cycle
+
+            self.tuning_store = TuningStore(maxsize=tuning,
+                                            persist_dir=tuning_dir)
+        else:
+            self.tuning_store = tuning
+        self.tune_seed = int(tune_seed)
+        self._tuner = None  # built on the first strategy="auto" compile
         self._inspector = Inspector(costs)
         # Amortisation counter per structure key, bounded like the
         # cache it annotates (an evicted structure restarts at 1).
@@ -282,7 +311,8 @@ class Runtime:
     # ------------------------------------------------------------------
     def compile(self, deps, *, executor: str = "self",
                 scheduler: str = "local", assignment: str = "wrapped",
-                balance: str = "wrapped") -> CompiledLoop:
+                balance: str = "wrapped",
+                strategy: str | None = None) -> CompiledLoop:
         """Inspect (or fetch from cache) and bind an executor.
 
         ``deps`` is any dependence source the inspector understands: a
@@ -290,23 +320,53 @@ class Runtime:
         lower-triangular CSR matrix, or a 1-D/2-D indirection array.
         All strategy names are validated up front against the
         registries.
+
+        ``strategy="auto"`` hands the choice of all four strategy
+        strings to the tuner (:meth:`tune`): the session's
+        ``TuningStore`` is consulted first, and only a miss pays for a
+        search — the winning verdict is attached to the returned loop
+        as ``loop.verdict``.  Explicit ``executor=``/``scheduler=``/
+        ``assignment=``/``balance=`` arguments are ignored under
+        ``"auto"``.
         """
+        verdict = None
+        if strategy is not None:
+            if strategy != "auto":
+                raise ValidationError(
+                    f"unknown strategy {strategy!r}; valid options are: "
+                    "'auto' (or omit it and pick executor/scheduler/"
+                    "assignment/balance explicitly)"
+                )
+            # Normalize once: the tuner's store key and the schedule
+            # cache below hash the same graph.
+            deps = self._inspector.dependences_of(deps)
+            verdict = self.tune(deps)
+            executor = verdict.executor
+            scheduler = verdict.scheduler
+            assignment = verdict.assignment
+            balance = verdict.balance
         executor_registry.validate(executor)
         scheduler_registry.validate(scheduler)
         partitioner_registry.validate(assignment)
 
         meta = executor_registry.metadata(executor)
-        strategy = meta.get("scheduler_override") or scheduler
-        # ``balance`` is consumed by the built-in global scheduler, so
+        resolved_scheduler = meta.get("scheduler_override") or scheduler
+        # ``balance`` is consumed by the built-in global scheduler —
+        # plain name or parameterized spec ("global:weights=…") — so
         # only there can it be validated eagerly; other schedulers
         # (including user-registered ones) receive it verbatim per the
         # registry contract and may ignore it or define their own
-        # values.
-        if strategy == "global" and balance not in BALANCE_OPTIONS:
+        # values.  Weight-source spec values are likewise checked here,
+        # before any dependence processing.
+        if (resolved_scheduler.partition(":")[0] == "global"
+                and balance not in BALANCE_OPTIONS):
             raise ValidationError(
                 f"unknown balance {balance!r}; valid options are: "
                 + ", ".join(repr(b) for b in BALANCE_OPTIONS)
             )
+        weight_source = scheduler_registry.binding(resolved_scheduler).get("weights")
+        if isinstance(weight_source, str):
+            self._inspector.check_weight_source(weight_source)
 
         dep = self._inspector.dependences_of(deps)
         # ``balance`` enters the cache key only when the resolved
@@ -314,16 +374,16 @@ class Runtime:
         # metadata) — otherwise compiles differing only in an ignored
         # balance string would cold-inspect identical structure.
         # Unregistered metadata defaults to consuming (conservative).
-        consumes_balance = scheduler_registry.metadata(strategy).get(
+        consumes_balance = scheduler_registry.metadata(resolved_scheduler).get(
             "consumes_balance", True
         )
         key = ScheduleCache.key_for(
-            dep, self.nproc, strategy, assignment,
+            dep, self.nproc, resolved_scheduler, assignment,
             balance if consumes_balance else "", self.costs,
             # Implementation fingerprints: shadowing a strategy name —
             # here or in a previous run sharing the persistence dir —
             # must not serve schedules another implementation built.
-            versions=(scheduler_registry.fingerprint(strategy),
+            versions=(scheduler_registry.fingerprint(resolved_scheduler),
                       partitioner_registry.fingerprint(assignment)),
         )
         inspection = None
@@ -332,7 +392,7 @@ class Runtime:
         cache_hit = inspection is not None
         if inspection is None:
             inspection = self._inspector.inspect(
-                dep, self.nproc, strategy=strategy,
+                dep, self.nproc, strategy=resolved_scheduler,
                 assignment=assignment, balance=balance,
             )
             if self.cache is not None:
@@ -351,7 +411,26 @@ class Runtime:
             assignment=assignment, executor=executor_obj,
             cache_hit=cache_hit,
             compile_count=self._compile_counts[key],
+            verdict=verdict,
         )
+
+    # ------------------------------------------------------------------
+    def tune(self, deps, *, kernel=None, backend: str | None = None):
+        """Search (or recall) the best strategy bundle for ``deps``.
+
+        Returns a :class:`~repro.tuning.TuningVerdict`.  The session's
+        tuner is built lazily and shares its machine shape
+        (``nproc``/``costs``) and ``TuningStore``; pass ``kernel`` and
+        ``backend`` to let real executions arbitrate among the
+        simulator's finalists.
+        """
+        if self._tuner is None:
+            from ..tuning.tuner import Tuner  # deferred: import cycle
+
+            self._tuner = Tuner(self.nproc, self.costs,
+                                seed=self.tune_seed,
+                                store=self.tuning_store)
+        return self._tuner.tune(deps, kernel=kernel, backend=backend)
 
     # ------------------------------------------------------------------
     def run(self, kernel, deps=None, *, backend: str | None = None,
@@ -380,6 +459,12 @@ class Runtime:
     def cache_stats(self) -> CacheStats | None:
         """Counters of the session cache (``None`` when disabled)."""
         return self.cache.stats if self.cache is not None else None
+
+    @property
+    def tuning_stats(self) -> CacheStats | None:
+        """Counters of the tuning store (``None`` when disabled)."""
+        return (self.tuning_store.stats
+                if self.tuning_store is not None else None)
 
     @staticmethod
     def available() -> dict[str, tuple[str, ...]]:

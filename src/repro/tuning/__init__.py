@@ -1,0 +1,55 @@
+"""``repro.tuning`` — autotuning: search the strategy space, cache verdicts.
+
+The paper's Tables 2–5 establish that no fixed executor/scheduler
+choice wins every workload; this package turns that observation into
+machinery.  Instead of hand-picking ``executor=``/``scheduler=``/
+``assignment=``/``balance=`` strings, ask for ::
+
+    rt = Runtime(nproc=16)
+    loop = rt.compile(deps, strategy="auto")
+    loop.verdict.label()       # e.g. 'preschedule/global[greedy]/wrapped'
+
+and the session searches the registered strategy space — pruning with
+the exact machine-model simulator on graph prefixes (successive
+halving), optionally timing finalists on a real backend — then caches
+the verdict in a :class:`TuningStore` keyed on (structure ×
+strategy-space fingerprint × arbitration mode) so the next
+structurally identical compile, in this run or a later one, skips the
+search — and the wavefront sweep — entirely.
+
+Pieces
+------
+* :func:`extract_features` / :class:`WorkloadFeatures` — cheap
+  structural signatures from inspector by-products;
+* :class:`CandidateSpec` / :func:`enumerate_space` /
+  :func:`space_fingerprint` — the searchable space over the open
+  registries, including the parameterized chunk-profile partitioners;
+* :func:`simulate_spec` / :func:`time_spec` / :func:`prefix_graph` —
+  the two-stage measurement harness;
+* :class:`Tuner` — deterministic (seeded) successive halving;
+* :class:`TuningStore` / :class:`TuningVerdict` — persistent,
+  self-healing verdict cache.
+"""
+
+from __future__ import annotations
+
+from .features import WorkloadFeatures, extract_features
+from .measure import Measurement, prefix_graph, simulate_spec, time_spec
+from .space import CandidateSpec, enumerate_space, space_fingerprint
+from .store import TuningStore, TuningVerdict
+from .tuner import Tuner
+
+__all__ = [
+    "WorkloadFeatures",
+    "extract_features",
+    "Measurement",
+    "prefix_graph",
+    "simulate_spec",
+    "time_spec",
+    "CandidateSpec",
+    "enumerate_space",
+    "space_fingerprint",
+    "TuningStore",
+    "TuningVerdict",
+    "Tuner",
+]

@@ -1,0 +1,112 @@
+"""Two-stage candidate evaluation: simulate to prune, execute to rank.
+
+Stage one is the machine-model simulator — exact, deterministic and
+host-speed-independent, so candidates can be compared (and pruned) on
+*subsampled prefixes* of the dependence graph long before anything
+runs.  Stage two times the surviving finalists on a real
+:class:`~repro.runtime.backends.ExecutionBackend` (``threads``,
+``processes``, …) when the caller supplies a kernel, because the model
+ranks but the hardware decides.
+
+Everything goes through :meth:`Runtime.compile
+<repro.runtime.session.Runtime.compile>`, so candidate compiles enjoy
+the session's :class:`~repro.runtime.cache.ScheduleCache` and a
+candidate that cannot execute at all (an illegal schedule, a deadlock)
+scores ``inf`` instead of aborting the search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.dependence import DependenceGraph
+from ..errors import ReproError
+from ..util.frontier import counts_to_indptr
+from .space import CandidateSpec
+
+__all__ = ["Measurement", "prefix_graph", "simulate_spec", "time_spec"]
+
+
+@dataclass
+class Measurement:
+    """One candidate's scores through the two stages."""
+
+    spec: CandidateSpec
+    #: Simulated makespan on the full graph (model µs; ``inf`` = failed).
+    sim_makespan: float = float("inf")
+    #: Host seconds on the real backend (``None`` = stage 2 not run).
+    host_seconds: float | None = None
+    #: Error string of a failed compile/execution, for reporting.
+    error: str | None = None
+    #: Per-rung simulated makespans, in rung order (for reporting).
+    rung_scores: list = field(default_factory=list)
+
+
+def prefix_graph(dep: DependenceGraph, m: int) -> DependenceGraph:
+    """The induced subgraph on the first ``m`` indices.
+
+    For backward-only graphs (the paper's start-time schedulable case)
+    this is a pure slice — every dependence of the first ``m`` rows
+    already lands below ``m``.  General graphs additionally drop edges
+    that point past the prefix.  Either way the result preserves the
+    head of the workload's structure — chunk profiles, chain depth,
+    frontier widths — which is what makes it a useful pruning fidelity.
+    """
+    m = int(min(m, dep.n))
+    if m >= dep.n:
+        return dep
+    end = int(dep.indptr[m])
+    indices = dep.indices[:end]
+    if dep.all_backward():
+        return DependenceGraph(dep.indptr[: m + 1], indices, m,
+                               check_acyclic=False)
+    rows = np.repeat(np.arange(m, dtype=np.int64),
+                     np.diff(dep.indptr[: m + 1]))
+    keep = indices < m
+    indptr = counts_to_indptr(np.bincount(rows[keep], minlength=m))
+    return DependenceGraph(indptr, indices[keep], m, check_acyclic=False)
+
+
+def simulate_spec(runtime, deps, spec: CandidateSpec) -> tuple[float, str | None]:
+    """Simulated makespan of one candidate (``inf`` when it cannot run).
+
+    ``runtime`` is the search session (its ScheduleCache absorbs
+    repeated compiles of the same rung); ``deps`` any dependence
+    source.  Returns ``(makespan, error-or-None)``.
+    """
+    try:
+        loop = runtime.compile(deps, **spec.compile_kwargs())
+        return float(loop.simulate().total_time), None
+    except ReproError as exc:
+        return float("inf"), f"{type(exc).__name__}: {exc}"
+
+
+def time_spec(
+    runtime,
+    deps,
+    spec: CandidateSpec,
+    kernel,
+    *,
+    backend: str,
+    repeats: int = 3,
+    timeout: float = 30.0,
+) -> tuple[float, str | None]:
+    """Best-of-``repeats`` host seconds of one finalist on a real backend.
+
+    The compile is done once (cached thereafter); each repeat goes
+    through the :class:`~repro.runtime.backends.ExecutionBackend`
+    protocol with the simulation skipped, so the clock covers the
+    backend execution alone.
+    """
+    try:
+        loop = runtime.compile(deps, **spec.compile_kwargs())
+        best = float("inf")
+        for _ in range(max(1, repeats)):
+            report = loop(kernel, backend=backend, timeout=timeout,
+                          with_sim=False)
+            best = min(best, report.host_seconds)
+        return best, None
+    except ReproError as exc:
+        return float("inf"), f"{type(exc).__name__}: {exc}"

@@ -1,0 +1,177 @@
+"""The candidate space — every strategy combination worth trying.
+
+:func:`enumerate_space` crosses the open runtime registries into a
+deduplicated list of :class:`CandidateSpec` configurations, with the
+structural pruning the registries' own metadata implies:
+
+* executors with a ``scheduler_override`` (``doacross``) vary only
+  their assignment;
+* ``global`` scheduling repartitions, so the initial assignment is
+  irrelevant — it is pinned to ``wrapped`` instead of multiplying the
+  space by every partitioner;
+* ``identity`` scheduling is reached through ``doacross`` (a
+  pre-scheduled run of an identity schedule would fail phase
+  validation), so it is not crossed with the other executors;
+* parameterized partitioners (``chunked``, ``guided``, ``factored``,
+  ``trapezoid``) contribute spec strings with chunk sizes scaled to
+  the workload (``n / nproc``), and the ``global`` scheduler
+  contributes its ``weights=work`` greedy variant.
+
+Strategies registered by third parties show up automatically: unknown
+schedulers are treated like ``local`` (assignment-preserving) and
+unknown partitioners join the assignment list.  Because the space
+tracks the registries, :func:`space_fingerprint` — a digest of every
+candidate strategy's :meth:`registry fingerprint
+<repro.runtime.registry.Registry.fingerprint>` — changes whenever a
+strategy is added, removed or shadowed, which is exactly the condition
+under which a cached tuning verdict must be re-searched.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from ..runtime.registry import (
+    executor_registry,
+    partitioner_registry,
+    scheduler_registry,
+)
+
+__all__ = ["CandidateSpec", "enumerate_space", "space_fingerprint"]
+
+
+@dataclass(frozen=True)
+class CandidateSpec:
+    """One point of the search space — the four compile strategy strings."""
+
+    executor: str
+    scheduler: str
+    assignment: str
+    balance: str = "wrapped"
+
+    def compile_kwargs(self) -> dict:
+        """Keyword arguments for :meth:`Runtime.compile
+        <repro.runtime.session.Runtime.compile>`."""
+        return {
+            "executor": self.executor,
+            "scheduler": self.scheduler,
+            "assignment": self.assignment,
+            "balance": self.balance,
+        }
+
+    def label(self) -> str:
+        """Compact human-readable rendering for tables and logs."""
+        bal = f"[{self.balance}]" if self.balance != "wrapped" else ""
+        return f"{self.executor}/{self.scheduler}{bal}/{self.assignment}"
+
+
+def _chunk_sizes(n: int, nproc: int) -> tuple[int, ...]:
+    """Workload-scaled chunk sizes for the ``chunked`` assignment."""
+    coarse = max(n // (nproc * 8), 1)
+    sizes = {16, coarse}
+    return tuple(sorted(sizes))
+
+
+def default_assignments(n: int, nproc: int) -> tuple[str, ...]:
+    """Assignment specs crossed with assignment-preserving schedulers.
+
+    Registry-driven: the static built-ins, workload-scaled
+    parameterized variants of the chunk profiles (``chunked`` sizes,
+    a floored ``guided``, a shallower ``trapezoid`` ramp), and any
+    third-party partitioner under its plain name.
+    """
+    names = []
+    for name in partitioner_registry.names():
+        if name == "chunked":
+            names.extend(f"chunked:{c}" for c in _chunk_sizes(n, nproc))
+            continue
+        names.append(name)
+        if name == "guided":
+            floor = n // (nproc * 32)
+            if floor > 1:
+                names.append(f"guided:min={floor}")
+        elif name == "trapezoid":
+            first = n // (nproc * 4)
+            if first > 8:
+                names.append(f"trapezoid:first={first},last=8")
+    return tuple(names)
+
+
+def enumerate_space(
+    n: int,
+    nproc: int,
+    *,
+    executors: tuple[str, ...] | None = None,
+    schedulers: tuple[str, ...] | None = None,
+    assignments: tuple[str, ...] | None = None,
+    include_weighted_greedy: bool = True,
+) -> list[CandidateSpec]:
+    """Cross the registries into a deduplicated candidate list.
+
+    ``executors`` / ``schedulers`` / ``assignments`` default to every
+    registered name (with the metadata-driven pruning described in the
+    module docstring); pass explicit tuples to narrow the search.
+    """
+    if executors is None:
+        executors = executor_registry.names()
+    if assignments is None:
+        assignments = default_assignments(n, nproc)
+    if schedulers is None:
+        schedulers = tuple(
+            s for s in scheduler_registry.names() if s != "identity"
+        )
+
+    out: list[CandidateSpec] = []
+    seen: set[CandidateSpec] = set()
+
+    def add(spec: CandidateSpec) -> None:
+        if spec not in seen:
+            seen.add(spec)
+            out.append(spec)
+
+    for executor in executors:
+        override = executor_registry.metadata(executor).get("scheduler_override")
+        if override:
+            # The executor forces its scheduler (doacross → identity);
+            # only the initial assignment remains free.
+            for assignment in assignments:
+                add(CandidateSpec(executor, override, assignment))
+            continue
+        for scheduler in schedulers:
+            if scheduler == "global" or scheduler.startswith("global:"):
+                # Global repartitions: the initial assignment is dead
+                # weight, but the balance rule (and weight source) is
+                # the real knob.
+                add(CandidateSpec(executor, scheduler, "wrapped", "wrapped"))
+                add(CandidateSpec(executor, scheduler, "wrapped", "greedy"))
+                if scheduler == "global" and include_weighted_greedy:
+                    add(CandidateSpec(executor, "global:weights=work",
+                                      "wrapped", "greedy"))
+            else:
+                # local and local-like (third-party) schedulers keep
+                # the initial assignment, so every partitioner matters.
+                for assignment in assignments:
+                    add(CandidateSpec(executor, scheduler, assignment))
+    return out
+
+
+def space_fingerprint(candidates: list[CandidateSpec]) -> str:
+    """Digest of every candidate strategy's registry fingerprint.
+
+    Any registration event that changes the space — a new partitioner
+    appearing in :func:`enumerate_space`'s output, a shadowed scheduler
+    bumping its generation — changes this digest, so verdicts keyed on
+    it are invalidated exactly when the search they summarize is stale.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    parts = set()
+    for spec in candidates:
+        parts.add(f"e:{spec.executor}={executor_registry.fingerprint(spec.executor)}")
+        parts.add(f"s:{spec.scheduler}={scheduler_registry.fingerprint(spec.scheduler)}")
+        parts.add(f"a:{spec.assignment}={partitioner_registry.fingerprint(spec.assignment)}")
+        parts.add(f"b:{spec.balance}")
+    for part in sorted(parts):
+        h.update(part.encode())
+        h.update(b"\0")
+    return h.hexdigest()

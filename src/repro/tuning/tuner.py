@@ -1,0 +1,281 @@
+"""The tuner: seeded successive halving over the strategy space.
+
+The search exploits two properties of this library: the machine
+simulator is *exact and deterministic* (so scores never need repeated
+sampling), and dependence-graph prefixes preserve workload character
+(so early rungs can run at a fraction of the size).  Successive
+halving then does the rest:
+
+1. enumerate the candidate space (:mod:`repro.tuning.space`);
+2. simulate every candidate on a small prefix of the graph, keep the
+   better half; repeat on a larger prefix;
+3. simulate the survivors on the full graph; optionally time the top
+   finalists on a real backend when a kernel is supplied;
+4. the winner becomes a :class:`~repro.tuning.store.TuningVerdict`,
+   cached in the :class:`~repro.tuning.store.TuningStore` so the next
+   structurally identical compile skips the search entirely.
+
+Determinism: candidate order is shuffled once by a seeded RNG (the
+only randomness — it breaks score ties reproducibly), every simulation
+is exact, and all sorts are stable, so the same seed and workload
+always produce the identical verdict.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.inspector import Inspector
+from ..errors import ValidationError
+from ..machine.costs import MULTIMAX_320, MachineCosts
+from ..machine.simulator import sequential_time
+from ..util.validation import check_positive
+from .features import WorkloadFeatures, extract_features
+from .measure import Measurement, prefix_graph, simulate_spec, time_spec
+from .space import CandidateSpec, enumerate_space, space_fingerprint
+from .store import TuningStore, TuningVerdict
+
+__all__ = ["Tuner"]
+
+
+def _check_arbitration(kernel, backend: str | None) -> bool:
+    """Whether stage two (real-backend arbitration) is requested.
+
+    A kernel without an execution backend — or vice versa — is a
+    half-specified request; fail it eagerly rather than silently
+    returning a sim-only verdict the caller believes was timed.
+    """
+    wants_exec = backend is not None and backend != "sim"
+    if kernel is not None and not wants_exec:
+        raise ValidationError(
+            "a kernel enables real-backend arbitration; also pass "
+            "backend=... (e.g. 'threads'), or omit the kernel for a "
+            "sim-only search"
+        )
+    if wants_exec and kernel is None:
+        raise ValidationError(
+            f"backend {backend!r} requires a kernel to execute; pass "
+            "kernel=..., or omit the backend for a sim-only search"
+        )
+    return kernel is not None and wants_exec
+
+
+class Tuner:
+    """Searches the strategy space for one machine shape.
+
+    Parameters
+    ----------
+    nproc, costs:
+        The machine the schedules are tuned for (mirrors
+        :class:`~repro.runtime.session.Runtime`).
+    seed:
+        Tie-break shuffle seed; fixed seed ⇒ identical verdicts.
+    store:
+        Optional :class:`~repro.tuning.store.TuningStore` consulted
+        before and populated after every search.
+    rung_fractions:
+        Prefix sizes (fractions of ``n``) of the pruning rungs; the
+        full graph is always the final rung.
+    keep:
+        Fraction of candidates surviving each pruning rung.
+    min_rung:
+        Smallest prefix worth simulating — rungs below it are skipped
+        (tiny graphs go straight to exhaustive full-size search).
+    finalists:
+        Survivors ranked at full size (and timed, in stage two).
+    """
+
+    def __init__(
+        self,
+        nproc: int,
+        costs: MachineCosts = MULTIMAX_320,
+        *,
+        seed: int = 0,
+        store: TuningStore | None = None,
+        rung_fractions: tuple[float, ...] = (1 / 16, 1 / 4),
+        keep: float = 0.5,
+        min_rung: int = 256,
+        finalists: int = 3,
+        repeats: int = 3,
+    ):
+        from ..runtime.session import Runtime  # deferred: import cycle
+
+        self.nproc = check_positive(nproc, "nproc")
+        self.costs = costs
+        self.seed = int(seed)
+        self.store = store
+        if not 0.0 < keep <= 1.0:
+            raise ValidationError("keep must lie in (0, 1]")
+        self.rung_fractions = tuple(sorted(rung_fractions))
+        if any(not 0.0 < f < 1.0 for f in self.rung_fractions):
+            raise ValidationError("rung fractions must lie in (0, 1)")
+        self.keep = float(keep)
+        self.min_rung = int(min_rung)
+        self.finalists = check_positive(finalists, "finalists")
+        self.repeats = check_positive(repeats, "repeats")
+        #: Private search session: candidate compiles land in its
+        #: ScheduleCache, never the caller's.
+        self._runtime = Runtime(nproc, costs=costs, cache=256, tuning=None)
+        #: Measurements of the most recent search (for reporting).
+        self.last_measurements: list[Measurement] = []
+
+    # ------------------------------------------------------------------
+    def tune(self, deps, *, kernel=None, backend: str | None = None) -> TuningVerdict:
+        """Verdict for ``deps`` — from the store, or a fresh search.
+
+        ``kernel``/``backend`` enable stage two: the top finalists are
+        executed for real and the wall clock picks among them.  Such
+        backend-arbitrated verdicts are stored under their own key
+        (``exec:<backend>``), never shared with sim-only searches.
+
+        A store hit costs one structure hash and a lookup — no
+        wavefront sweep, no feature extraction, no search.
+        """
+        dep = Inspector.dependences_of(deps)
+        candidates = enumerate_space(dep.n, self.nproc)
+        arbitrated = _check_arbitration(kernel, backend)
+        key = None
+        if self.store is not None:
+            key = TuningStore.key_for(
+                dep, self.nproc, self.costs, space_fingerprint(candidates),
+                mode=f"exec:{backend}" if arbitrated else "sim",
+            )
+            verdict = self.store.get(key)
+            if verdict is not None:
+                return verdict
+        verdict = self.search(dep, candidates,
+                              kernel=kernel, backend=backend)
+        if self.store is not None:
+            self.store.put(key, verdict)
+        return verdict
+
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        dep,
+        candidates: list[CandidateSpec] | None = None,
+        *,
+        features: WorkloadFeatures | None = None,
+        kernel=None,
+        backend: str | None = None,
+    ) -> TuningVerdict:
+        """Run the successive-halving search (no store involvement)."""
+        if candidates is None:
+            candidates = enumerate_space(dep.n, self.nproc)
+        if not candidates:
+            raise ValidationError("the candidate space is empty")
+        if features is None:
+            features = extract_features(dep, None, self.costs)
+
+        measurements = {spec: Measurement(spec) for spec in candidates}
+        rng = np.random.default_rng(self.seed)
+        survivors = [candidates[i] for i in rng.permutation(len(candidates))]
+        sims = 0
+
+        # Pruning rungs: simulate on growing prefixes, halve the field.
+        for m in self._rung_sizes(dep.n):
+            sub = prefix_graph(dep, m)
+            scored = []
+            for spec in survivors:
+                score, err = simulate_spec(self._runtime, sub, spec)
+                sims += 1
+                measurements[spec].rung_scores.append(score)
+                if err is not None:
+                    measurements[spec].error = err
+                scored.append((score, spec))
+            scored.sort(key=lambda t: t[0])  # stable: shuffled tie order
+            kept = max(self.finalists,
+                       math.ceil(len(scored) * self.keep))
+            survivors = [spec for _, spec in scored[:kept]]
+            # Diversity guarantee: prefix fidelity is biased against
+            # barrier-dominated executors (a preschedule run pays its
+            # per-wavefront syncs against a fraction of the work), so
+            # the best finite-scored candidate of *every* executor
+            # family rides along to the next rung regardless of rank —
+            # the full-size rung, not a subsample, retires families.
+            seen_exec = {spec.executor for spec in survivors}
+            for score, spec in scored[kept:]:
+                if spec.executor not in seen_exec and math.isfinite(score):
+                    seen_exec.add(spec.executor)
+                    survivors.append(spec)
+
+        # Final rung: every survivor at full size.
+        scored = []
+        for spec in survivors:
+            score, err = simulate_spec(self._runtime, dep, spec)
+            sims += 1
+            measurements[spec].sim_makespan = score
+            if err is not None:
+                measurements[spec].error = err
+            scored.append((score, spec))
+        scored.sort(key=lambda t: t[0])
+        finalists = [spec for score, spec in scored[: self.finalists]
+                     if math.isfinite(score)]
+        if not finalists:
+            raise ValidationError(
+                "no candidate produced a legal schedule for this workload"
+            )
+
+        best = finalists[0]
+        # Stage two: the wall clock arbitrates among the finalists.
+        if _check_arbitration(kernel, backend):
+            timed = []
+            for spec in finalists:
+                seconds, err = time_spec(
+                    self._runtime, dep, spec, kernel,
+                    backend=backend, repeats=self.repeats,
+                )
+                measurements[spec].host_seconds = seconds
+                if err is not None:
+                    measurements[spec].error = err
+                timed.append((seconds, spec))
+            timed.sort(key=lambda t: t[0])  # stable: sim rank breaks ties
+            if math.isfinite(timed[0][0]):
+                best = timed[0][1]
+
+        self.last_measurements = [
+            measurements[spec] for spec in candidates
+        ]
+        return TuningVerdict(
+            executor=best.executor,
+            scheduler=best.scheduler,
+            assignment=best.assignment,
+            balance=best.balance,
+            sim_makespan=measurements[best].sim_makespan,
+            seq_time=sequential_time(dep, self.costs),
+            candidates=len(candidates),
+            sims=sims,
+            seed=self.seed,
+            signature=features.signature(),
+        )
+
+    # ------------------------------------------------------------------
+    def exhaustive(self, dep, candidates: list[CandidateSpec] | None = None) -> list[Measurement]:
+        """Simulate *every* candidate at full size (the search's oracle).
+
+        Used by the acceptance benchmark to check the halving search
+        lands within tolerance of the true simulated optimum.
+        """
+        if candidates is None:
+            candidates = enumerate_space(dep.n, self.nproc)
+        out = []
+        for spec in candidates:
+            score, err = simulate_spec(self._runtime, dep, spec)
+            m = Measurement(spec, sim_makespan=score, error=err)
+            out.append(m)
+        return sorted(out, key=lambda m: m.sim_makespan)
+
+    def _rung_sizes(self, n: int) -> list[int]:
+        """Strictly growing prefix sizes below ``n`` (may be empty)."""
+        sizes = []
+        for frac in self.rung_fractions:
+            m = int(n * frac)
+            if m >= self.min_rung and m < n and (not sizes or m > sizes[-1]):
+                sizes.append(m)
+        return sizes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Tuner(nproc={self.nproc}, seed={self.seed}, "
+                f"store={self.store!r})")

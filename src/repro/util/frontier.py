@@ -50,6 +50,14 @@ def expand_csr_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
     return np.arange(total, dtype=np.int64) + np.repeat(starts - offsets, counts)
 
 
+#: Frontier size at or below which a level is handed to the scalar
+#: (pure-Python) engine, provided the *mean* width so far is also small
+#: (so one narrow tail of a wide graph never pays the list conversion).
+SCALAR_ENTER = 24
+#: Frontier size at which the scalar engine hands control back.
+SCALAR_EXIT = 96
+
+
 def frontier_sweep(
     indptr: np.ndarray,
     indices: np.ndarray,
@@ -65,7 +73,8 @@ def frontier_sweep(
         that depend on ``j``.  Duplicate edges are allowed (each one
         counts toward the in-degree).
     indeg:
-        In-degree of every node, **consumed in place** — pass a copy.
+        In-degree of every node, **consumed** — pass a copy (its final
+        contents are undefined).
     n:
         Node count.
 
@@ -79,6 +88,13 @@ def frontier_sweep(
         ``visited < n`` signals a cycle; the caller decides what to
         raise (``levels``/``order`` entries of unvisited nodes are
         undefined).
+
+    The engine is a hybrid: wide frontiers are processed with bulk
+    numpy gathers/scatters (one interpreter entry per *wavefront*),
+    while runs of tiny frontiers — deep, narrow, near-chain DAGs, where
+    ~15 whole-array numpy calls per 2-element level used to cost more
+    than visiting the elements — drop into a tight per-index Python
+    loop (:func:`_scalar_spans`) until the frontier widens again.
     """
     levels = np.zeros(n, dtype=np.int64)
     order = np.empty(n, dtype=np.int64)
@@ -86,7 +102,25 @@ def frontier_sweep(
     frontier = np.nonzero(indeg == 0)[0]
     visited = 0
     level = 0
+    lists = None  # (indptr, indices) as Python lists, built on demand
+    entries = 0  # each scalar entry/exit pair costs O(n) conversions
     while frontier.size:
+        if (frontier.size <= SCALAR_ENTER and entries < 8
+                and visited <= (level + 1) * 2 * SCALAR_EXIT):
+            entries += 1
+            if lists is None:
+                lists = (indptr.tolist(), indices.tolist())
+            indeg_l = indeg.tolist()
+            frontier, visited, level = _scalar_spans(
+                lists[0], lists[1], indeg_l, frontier.tolist(),
+                levels, order, visited, level,
+            )
+            if not frontier:
+                break
+            # The frontier outgrew the scalar engine: rejoin the
+            # vector path with the scalar loop's in-degree state.
+            frontier = np.asarray(frontier, dtype=np.int64)
+            indeg = np.asarray(indeg_l, dtype=np.int64)
         order[visited : visited + frontier.size] = frontier
         levels[frontier] = level
         visited += frontier.size
@@ -102,8 +136,8 @@ def frontier_sweep(
         # handled by the counting decrement and deduplicated into an
         # ascending frontier — matching the reference sweep's order.
         # Both steps touch all n slots (``bincount``, scratch mask), so
-        # they only win on large frontiers; small frontiers (deep,
-        # narrow graphs) use scatter + sort-based unique instead.
+        # they only win on large frontiers; moderately small frontiers
+        # use scatter + sort-based unique instead.
         if targets.size * 8 >= n:
             indeg -= np.bincount(targets, minlength=n)
             hits = targets[indeg[targets] == 0]
@@ -114,3 +148,50 @@ def frontier_sweep(
             np.subtract.at(indeg, targets, 1)
             frontier = np.unique(targets[indeg[targets] == 0])
     return levels, order, visited
+
+
+def _scalar_spans(
+    indptr: list,
+    indices: list,
+    indeg: list,
+    frontier: list,
+    levels: np.ndarray,
+    order: np.ndarray,
+    visited: int,
+    level: int,
+) -> tuple[list, int, int]:
+    """Per-index Kahn over a run of tiny frontiers (all-Python inner loop).
+
+    Processes complete levels — identical node order and level numbers
+    to the vector path — until the frontier empties or outgrows
+    :data:`SCALAR_EXIT`.  Results are buffered in Python lists and
+    written back to ``levels``/``order`` in one shot; ``indeg`` is the
+    caller's in-degree state as a mutable list.  Returns the frontier
+    it stopped on (sorted, possibly empty) plus the updated counters.
+    """
+    buf: list = []
+    widths: list = []
+    while frontier:
+        nxt: list = []
+        for j in frontier:
+            for k in range(indptr[j], indptr[j + 1]):
+                t = indices[k]
+                d = indeg[t] - 1
+                indeg[t] = d
+                if d == 0:
+                    nxt.append(t)
+        buf.extend(frontier)
+        widths.append(len(frontier))
+        nxt.sort()
+        frontier = nxt
+        if len(frontier) > SCALAR_EXIT:
+            break
+    if buf:
+        nodes = np.asarray(buf, dtype=np.int64)
+        order[visited : visited + nodes.size] = nodes
+        levels[nodes] = np.repeat(
+            np.arange(level, level + len(widths), dtype=np.int64), widths
+        )
+        visited += nodes.size
+        level += len(widths)
+    return frontier, visited, level

@@ -1,0 +1,208 @@
+"""Tests for keyword strategy specs and the chunk-profile partitioners.
+
+The ``"chunked:align=8"``-style kwargs grammar of
+:class:`~repro.runtime.registry.Registry`, the guided / factored /
+trapezoid self-scheduling partitioners, and the ``global:weights=…``
+scheduler weight sources.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dependence import DependenceGraph
+from repro.core.executor import SerialExecutor, SimpleLoopKernel
+from repro.core.partition import (
+    chunked_partition,
+    factored_partition,
+    guided_partition,
+    trapezoid_partition,
+)
+from repro.core.schedule import global_schedule
+from repro.core.wavefront import compute_wavefronts
+from repro.errors import ValidationError
+from repro.runtime import Runtime
+from repro.runtime.registry import partitioner_registry, scheduler_registry
+
+
+@pytest.fixture()
+def case():
+    rng = np.random.default_rng(31)
+    n = 120
+    return (rng.standard_normal(n), rng.standard_normal(n),
+            rng.integers(0, n, size=n))
+
+
+class TestKwargSpecs:
+    def test_keyword_form_matches_positional(self):
+        np.testing.assert_array_equal(
+            partitioner_registry.get("chunked:chunk=32")(100, 4),
+            partitioner_registry.get("chunked:32")(100, 4),
+        )
+
+    def test_align_rounds_chunk_up(self):
+        np.testing.assert_array_equal(
+            partitioner_registry.get("chunked:chunk=12,align=8")(64, 2),
+            chunked_partition(64, 2, chunk=16),
+        )
+
+    def test_binding_exposed(self):
+        assert partitioner_registry.binding("chunked:chunk=4,align=2") == {
+            "chunk": 4, "align": 2}
+        assert partitioner_registry.binding("wrapped") == {}
+
+    def test_fingerprint_distinguishes_bindings(self):
+        fps = {partitioner_registry.fingerprint(s)
+               for s in ("chunked", "chunked:64", "chunked:chunk=64,align=8")}
+        assert len(fps) == 3
+
+    def test_unknown_keyword_rejected(self):
+        with pytest.raises(ValidationError, match="valid parameters"):
+            partitioner_registry.get("chunked:block=4")
+
+    def test_duplicate_keyword_rejected(self):
+        with pytest.raises(ValidationError, match="duplicate"):
+            partitioner_registry.get("chunked:chunk=4,chunk=8")
+
+    def test_malformed_pair_rejected(self):
+        with pytest.raises(ValidationError, match="key=value"):
+            partitioner_registry.get("chunked:chunk=4,align")
+
+    def test_non_integer_value_rejected(self):
+        with pytest.raises(ValidationError, match="int"):
+            partitioner_registry.get("chunked:chunk=soon")
+
+    def test_parameterless_strategy_rejects_specs(self):
+        with pytest.raises(ValidationError, match="does not accept"):
+            partitioner_registry.get("wrapped:chunk=4")
+
+    def test_keyword_only_strategy_rejects_bare_int(self):
+        with pytest.raises(ValidationError, match="keyword parameters"):
+            partitioner_registry.get("guided:4")
+
+    def test_cache_keys_differ_per_binding(self, case):
+        _, _, ia = case
+        rt = Runtime(nproc=4)
+        first = rt.compile(ia, assignment="chunked:chunk=8")
+        assert not rt.compile(ia, assignment="chunked:chunk=8,align=8").cache_hit
+        assert rt.compile(ia, assignment="chunked:chunk=8").cache_hit
+        assert first is not None
+
+
+class TestChunkProfiles:
+    @pytest.mark.parametrize("spec", [
+        "guided", "guided:min=4", "factored", "factored:min=2",
+        "trapezoid", "trapezoid:first=16,last=2",
+    ])
+    @pytest.mark.parametrize("n,nproc", [(0, 3), (1, 4), (37, 4), (500, 7)])
+    def test_owner_is_valid(self, spec, n, nproc):
+        owner = partitioner_registry.get(spec)(n, nproc)
+        assert owner.shape == (n,)
+        if n:
+            assert owner.min() >= 0 and owner.max() < nproc
+
+    def test_guided_chunks_shrink(self):
+        owner = guided_partition(1000, 4)
+        # First chunk is n/p = 250 indices on processor 0.
+        assert np.all(owner[:250] == 0)
+        changes = np.nonzero(np.diff(owner))[0]
+        chunk_sizes = np.diff(np.concatenate([[0], changes + 1, [1000]]))
+        assert chunk_sizes[0] == max(chunk_sizes)
+
+    def test_guided_min_floors_chunk(self):
+        sizes = np.diff(np.nonzero(np.diff(guided_partition(100, 4, min=10)))[0])
+        assert sizes.min() >= 9  # interior chunks at least ~min
+
+    def test_trapezoid_linear_profile(self):
+        owner = trapezoid_partition(1000, 4)
+        changes = np.nonzero(np.diff(owner))[0]
+        sizes = np.diff(np.concatenate([[0], changes + 1, [1000]]))
+        # Monotone non-increasing ramp (to rounding), big-first.
+        assert sizes[0] == max(sizes)
+        assert sizes[-1] <= sizes[0]
+
+    def test_factored_batches_of_p(self):
+        owner = factored_partition(800, 4)
+        # First batch: 4 chunks of ⌈800/8⌉ = 100, dealt to 0,1,2,3.
+        np.testing.assert_array_equal(owner[:400],
+                                      np.repeat([0, 1, 2, 3], 100))
+
+    @pytest.mark.parametrize("assignment", [
+        "guided", "factored", "trapezoid", "chunked:chunk=8,align=4",
+    ])
+    def test_numeric_correctness_through_runtime(self, case, assignment):
+        x0, b, ia = case
+        oracle = SerialExecutor().run(SimpleLoopKernel(x0, b, ia))
+        rt = Runtime(nproc=4)
+        rep = rt.compile(ia, assignment=assignment)(SimpleLoopKernel(x0, b, ia))
+        np.testing.assert_allclose(rep.x, oracle)
+
+
+class TestWeightSources:
+    def graph(self):
+        rng = np.random.default_rng(5)
+        g = rng.integers(0, 80, size=(80, 3))
+        return DependenceGraph.from_indirection_nested(g)
+
+    def test_work_source_matches_manual_weights(self):
+        dep = self.graph()
+        rt = Runtime(nproc=4)
+        loop = rt.compile(dep, scheduler="global:weights=work",
+                          balance="greedy")
+        wf = compute_wavefronts(dep)
+        manual = global_schedule(
+            wf, 4, weights=rt.costs.base_work(dep.dep_counts()),
+            balance="greedy")
+        np.testing.assert_array_equal(loop.schedule.owner, manual.owner)
+
+    def test_deps_source_matches_manual_weights(self):
+        dep = self.graph()
+        loop = Runtime(nproc=4).compile(dep, scheduler="global:weights=deps",
+                                        balance="greedy")
+        wf = compute_wavefronts(dep)
+        manual = global_schedule(wf, 4,
+                                 weights=dep.dep_counts().astype(np.float64),
+                                 balance="greedy")
+        np.testing.assert_array_equal(loop.schedule.owner, manual.owner)
+
+    def test_unit_source_matches_plain_global(self):
+        dep = self.graph()
+        rt = Runtime(nproc=4)
+        spec = rt.compile(dep, scheduler="global:weights=unit",
+                          balance="greedy")
+        plain = rt.compile(dep, scheduler="global", balance="greedy")
+        np.testing.assert_array_equal(spec.schedule.owner, plain.schedule.owner)
+
+    def test_unknown_source_rejected(self):
+        with pytest.raises(ValidationError, match="weight source"):
+            Runtime(nproc=4).compile(self.graph(),
+                                     scheduler="global:weights=guess",
+                                     balance="greedy")
+
+    def test_unknown_source_fails_before_any_dependence_work(self):
+        # Eager contract: the spec typo must surface before the deps
+        # argument is even looked at (object() would otherwise raise a
+        # "dependence source" error from the inspector).
+        with pytest.raises(ValidationError, match="weight source"):
+            Runtime(nproc=4).compile(object(),
+                                     scheduler="global:weights=wrok")
+
+    def test_bad_balance_fails_eagerly_for_global_specs(self):
+        # The eager balance check must see through "global:…" specs.
+        with pytest.raises(ValidationError, match="unknown balance"):
+            Runtime(nproc=4).compile(object(),
+                                     scheduler="global:weights=work",
+                                     balance="greediest")
+
+    def test_string_weights_rejected_outside_inspector(self):
+        adapter = scheduler_registry.get("global:weights=work")
+        with pytest.raises(ValidationError, match="resolved to an array"):
+            adapter(np.zeros(4, dtype=np.int64), None, 2, balance="greedy")
+
+    def test_weight_sources_key_separately(self):
+        dep = self.graph()
+        rt = Runtime(nproc=4)
+        rt.compile(dep, scheduler="global:weights=work", balance="greedy")
+        assert not rt.compile(dep, scheduler="global:weights=deps",
+                              balance="greedy").cache_hit
+        assert rt.compile(dep, scheduler="global:weights=work",
+                          balance="greedy").cache_hit

@@ -1,0 +1,390 @@
+"""Tests for the :mod:`repro.tuning` autotuning subsystem.
+
+Feature extraction, space enumeration, prefix fidelities, the seeded
+successive-halving tuner (determinism + quality), the persistent
+:class:`~repro.tuning.TuningStore` (self-healing, invalidation), and
+the ``Runtime.compile(strategy="auto")`` integration.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.dependence import DependenceGraph
+from repro.core.executor import SerialExecutor, SimpleLoopKernel
+from repro.errors import ValidationError
+from repro.runtime import Runtime, register_partitioner
+from repro.runtime.registry import partitioner_registry
+from repro.tuning import (
+    CandidateSpec,
+    Tuner,
+    TuningStore,
+    TuningVerdict,
+    enumerate_space,
+    extract_features,
+    prefix_graph,
+    space_fingerprint,
+)
+from repro.workload.generator import generate_workload
+
+
+@pytest.fixture()
+def fig3():
+    rng = np.random.default_rng(1989)
+    ia = rng.integers(0, 2000, size=2000)
+    return ia, DependenceGraph.from_indirection(ia)
+
+
+@pytest.fixture()
+def mesh():
+    return DependenceGraph.from_lower_csr(generate_workload("33mesh").matrix)
+
+
+def chain_graph(n):
+    edges = np.stack([np.arange(1, n), np.arange(n - 1)], axis=1)
+    return DependenceGraph.from_edges(edges, n)
+
+
+class TestFeatures:
+    def test_chain_features(self):
+        f = extract_features(chain_graph(64))
+        assert f.n == 64
+        assert f.critical_path == 64
+        assert f.mean_width == 1.0
+        assert f.max_width == 1
+        assert f.num_edges == 63
+
+    def test_independent_features(self):
+        dep = DependenceGraph.from_indirection(np.arange(50))  # no deps
+        f = extract_features(dep)
+        assert f.critical_path == 1
+        assert f.mean_width == 50.0
+        assert f.num_edges == 0
+
+    def test_signature_separates_shapes(self):
+        wide = extract_features(DependenceGraph.from_indirection(np.arange(512)))
+        deep = extract_features(chain_graph(512))
+        assert wide.signature() != deep.signature()
+
+    def test_signature_stable_across_copies(self, fig3):
+        ia, dep = fig3
+        dep2 = DependenceGraph.from_indirection(ia.copy())
+        assert extract_features(dep).signature() == extract_features(dep2).signature()
+
+    def test_roundtrip_dict(self, fig3):
+        _, dep = fig3
+        f = extract_features(dep)
+        assert type(f).from_dict(f.to_dict()) == f
+
+
+class TestSpace:
+    def test_contains_chunk_profiles(self, fig3):
+        _, dep = fig3
+        specs = enumerate_space(dep.n, 8)
+        assignments = {s.assignment for s in specs}
+        assert {"wrapped", "blocked", "guided", "factored", "trapezoid"} <= assignments
+        assert any(a.startswith("chunked:") for a in assignments)
+        # Workload-scaled parameterized profile variants join the space.
+        assert any(a.startswith("guided:min=") for a in assignments)
+        assert any(a.startswith("trapezoid:first=") for a in assignments)
+
+    def test_global_pins_assignment(self, fig3):
+        _, dep = fig3
+        for s in enumerate_space(dep.n, 8):
+            if s.scheduler.startswith("global"):
+                assert s.assignment == "wrapped"
+
+    def test_no_duplicates(self, fig3):
+        _, dep = fig3
+        specs = enumerate_space(dep.n, 8)
+        assert len(specs) == len(set(specs))
+
+    def test_new_registration_grows_space_and_changes_fingerprint(self, fig3):
+        _, dep = fig3
+        before = enumerate_space(dep.n, 8)
+        fp_before = space_fingerprint(before)
+
+        @register_partitioner("test-tuning-alt")
+        def alt(n, nproc):
+            return np.zeros(n, dtype=np.int64)
+
+        try:
+            after = enumerate_space(dep.n, 8)
+            assert len(after) > len(before)
+            assert space_fingerprint(after) != fp_before
+        finally:
+            partitioner_registry.unregister("test-tuning-alt")
+
+    def test_shadowing_changes_fingerprint(self, fig3):
+        _, dep = fig3
+        specs = enumerate_space(dep.n, 8)
+        fp_before = space_fingerprint(specs)
+        # Re-register the same implementation: the generation bump alone
+        # must invalidate (the verdict may have ranked the old one).
+        fn = partitioner_registry.get("guided")
+        partitioner_registry.register("guided", fn,
+                                      **partitioner_registry.metadata("guided"))
+        assert space_fingerprint(enumerate_space(dep.n, 8)) != fp_before
+
+
+class TestPrefixGraph:
+    def test_backward_slice(self, fig3):
+        _, dep = fig3
+        sub = prefix_graph(dep, 500)
+        assert sub.n == 500
+        np.testing.assert_array_equal(sub.indptr, dep.indptr[:501])
+        np.testing.assert_array_equal(sub.indices, dep.indices[: dep.indptr[500]])
+
+    def test_full_size_returns_same_graph(self, fig3):
+        _, dep = fig3
+        assert prefix_graph(dep, dep.n) is dep
+        assert prefix_graph(dep, dep.n + 10) is dep
+
+    def test_general_graph_drops_forward_edges(self):
+        # 0→2 (backward from 2), plus 1 depends on 3 (forward ref).
+        dep = DependenceGraph.from_edges([(2, 0), (1, 3)], 4)
+        sub = prefix_graph(dep, 3)
+        assert sub.n == 3
+        assert sub.num_edges == 1
+        np.testing.assert_array_equal(sub.deps(2), [0])
+
+
+class TestTunerDeterminism:
+    def test_same_seed_same_verdict(self, mesh):
+        v1 = Tuner(8, seed=42).search(mesh)
+        v2 = Tuner(8, seed=42).search(mesh)
+        assert v1 == v2
+
+    def test_verdict_through_fresh_processless_tuners(self, fig3):
+        _, dep = fig3
+        v1 = Tuner(4, seed=7).tune(dep)
+        v2 = Tuner(4, seed=7).tune(dep)
+        assert v1 == v2
+
+    def test_seed_recorded(self, mesh):
+        assert Tuner(8, seed=5).search(mesh).seed == 5
+
+
+class TestTunerQuality:
+    """Regression for the acceptance criterion: the sim-pruned seeded
+    search lands within 10% of the exhaustive simulated best."""
+
+    @pytest.mark.parametrize("nproc", [4, 16])
+    def test_fig3_within_tolerance(self, fig3, nproc):
+        _, dep = fig3
+        tuner = Tuner(nproc, seed=0)
+        verdict = tuner.search(dep)
+        best = tuner.exhaustive(dep)[0]
+        assert verdict.sim_makespan <= 1.10 * best.sim_makespan
+
+    def test_mesh_within_tolerance(self, mesh):
+        tuner = Tuner(8, seed=0)
+        verdict = tuner.search(mesh)
+        best = tuner.exhaustive(mesh)[0]
+        assert verdict.sim_makespan <= 1.10 * best.sim_makespan
+
+    def test_verdict_beats_the_naive_default(self, mesh):
+        """The tuned pick is at least as good as compile()'s defaults."""
+        rt = Runtime(nproc=8)
+        default = rt.compile(mesh).simulate().total_time
+        verdict = Tuner(8, seed=0).search(mesh)
+        assert verdict.sim_makespan <= default * (1 + 1e-9)
+
+    def test_tiny_workload_is_searched_exhaustively(self):
+        # Below min_rung there are no pruning rungs: every candidate is
+        # simulated at full size, so the verdict IS the exhaustive best.
+        dep = chain_graph(64)
+        tuner = Tuner(4, seed=0)
+        verdict = tuner.search(dep)
+        best = tuner.exhaustive(dep)[0]
+        assert verdict.sim_makespan == best.sim_makespan
+
+
+class TestStore:
+    def key(self, dep, nproc=4, mode="sim"):
+        specs = enumerate_space(dep.n, nproc)
+        from repro.machine.costs import MULTIMAX_320
+        return TuningStore.key_for(dep, nproc, MULTIMAX_320,
+                                   space_fingerprint(specs), mode=mode)
+
+    def verdict(self, **over):
+        base = dict(executor="self", scheduler="local", assignment="wrapped",
+                    balance="wrapped", sim_makespan=10.0, seq_time=40.0,
+                    candidates=5, sims=9, seed=0, signature="sig")
+        base.update(over)
+        return TuningVerdict(**base)
+
+    def test_hit_marks_unsearched(self, fig3):
+        _, dep = fig3
+        store = TuningStore(maxsize=4)
+        key = self.key(dep)
+        store.put(key, self.verdict())
+        got = store.get(key)
+        assert got is not None and not got.searched
+        assert store.stats.hits == 1
+
+    def test_miss_counts(self, fig3):
+        _, dep = fig3
+        store = TuningStore(maxsize=4)
+        assert store.get(self.key(dep)) is None
+        assert store.stats.misses == 1
+
+    def test_lru_eviction(self):
+        store = TuningStore(maxsize=2)
+        for i in range(3):
+            store.put(f"k{i}", self.verdict(sims=i))
+        assert store.stats.evictions == 1
+        assert store.get("k0") is None
+        assert store.get("k2") is not None
+
+    def test_maxsize_validated(self):
+        with pytest.raises(ValidationError):
+            TuningStore(maxsize=0)
+
+    def test_disk_roundtrip(self, fig3, tmp_path):
+        _, dep = fig3
+        key = self.key(dep)
+        v = self.verdict(sim_makespan=123.5)
+        TuningStore(maxsize=4, persist_dir=tmp_path).put(key, v)
+        fresh = TuningStore(maxsize=4, persist_dir=tmp_path)
+        got = fresh.get(key)
+        assert got is not None
+        assert dataclasses.replace(got, searched=True) == v
+        assert fresh.stats.disk_hits == 1
+        assert fresh.stats.misses == 0
+
+    def test_corrupt_entry_is_a_miss_then_self_heals(self, fig3, tmp_path):
+        _, dep = fig3
+        key = self.key(dep)
+        store = TuningStore(maxsize=4, persist_dir=tmp_path)
+        store.put(key, self.verdict())
+        for p in tmp_path.glob("*.tuning.json"):
+            p.write_text('{"format": 1, "verdict": {"executor": "se')  # truncated
+        fresh = TuningStore(maxsize=4, persist_dir=tmp_path)
+        assert fresh.get(key) is None  # miss, not a crash
+        fresh.put(key, self.verdict(sims=99))  # re-search overwrites
+        healed = TuningStore(maxsize=4, persist_dir=tmp_path)
+        assert healed.get(key).sims == 99
+
+    def test_foreign_format_is_a_miss(self, fig3, tmp_path):
+        _, dep = fig3
+        key = self.key(dep)
+        store = TuningStore(maxsize=4, persist_dir=tmp_path)
+        store.put(key, self.verdict())
+        for p in tmp_path.glob("*.tuning.json"):
+            p.write_text('{"format": 999, "verdict": {}}')
+        assert TuningStore(maxsize=4, persist_dir=tmp_path).get(key) is None
+
+    def test_registry_generation_bump_invalidates_key(self, fig3):
+        _, dep = fig3
+        k1 = self.key(dep)
+        fn = partitioner_registry.get("trapezoid")
+        partitioner_registry.register(
+            "trapezoid", fn, **partitioner_registry.metadata("trapezoid"))
+        assert self.key(dep) != k1
+
+    def test_arbitration_mode_keys_separately(self, fig3):
+        _, dep = fig3
+        assert self.key(dep, mode="sim") != self.key(dep, mode="exec:threads")
+
+
+class TestRuntimeAuto:
+    def test_auto_attaches_verdict_and_executes(self, fig3):
+        ia, _ = fig3
+        rng = np.random.default_rng(3)
+        x0, b = rng.standard_normal(ia.size), rng.standard_normal(ia.size)
+        oracle = SerialExecutor().run(SimpleLoopKernel(x0, b, ia))
+        rt = Runtime(nproc=4)
+        loop = rt.compile(ia, strategy="auto")
+        assert loop.verdict is not None and loop.verdict.searched
+        assert loop.report()["tuned"]
+        rep = loop(SimpleLoopKernel(x0, b, ia))
+        np.testing.assert_allclose(rep.x, oracle)
+
+    def test_warm_store_skips_the_search(self, fig3):
+        ia, _ = fig3
+        rt = Runtime(nproc=4)
+        first = rt.compile(ia, strategy="auto")
+        second = rt.compile(ia.copy(), strategy="auto")
+        assert first.verdict.searched
+        assert not second.verdict.searched
+        assert second.verdict.compile_kwargs() == first.verdict.compile_kwargs()
+        assert rt.tuning_stats.hits == 1
+        assert rt.tuning_stats.misses == 1
+
+    def test_explicit_compile_has_no_verdict(self, fig3):
+        ia, _ = fig3
+        loop = Runtime(nproc=4).compile(ia)
+        assert loop.verdict is None
+        assert not loop.report()["tuned"]
+
+    def test_unknown_strategy_rejected(self, fig3):
+        ia, _ = fig3
+        with pytest.raises(ValidationError, match="auto"):
+            Runtime(nproc=4).compile(ia, strategy="best-effort")
+
+    def test_tuning_disabled_still_searches(self, fig3):
+        ia, _ = fig3
+        rt = Runtime(nproc=4, tuning=None)
+        assert rt.tuning_stats is None
+        assert rt.compile(ia, strategy="auto").verdict.searched
+        # No store: every auto compile searches again.
+        assert rt.compile(ia, strategy="auto").verdict.searched
+
+    def test_verdict_persists_across_sessions(self, fig3, tmp_path):
+        ia, _ = fig3
+        rt1 = Runtime(nproc=4, tuning_dir=tmp_path)
+        v1 = rt1.compile(ia, strategy="auto").verdict
+        assert rt1.tuning_stats.disk_stores == 1
+
+        rt2 = Runtime(nproc=4, tuning_dir=tmp_path)
+        v2 = rt2.compile(ia, strategy="auto").verdict
+        assert not v2.searched
+        assert rt2.tuning_stats.disk_hits == 1
+        assert v2.compile_kwargs() == v1.compile_kwargs()
+
+    def test_registration_invalidates_cached_verdict(self, fig3):
+        ia, _ = fig3
+        rt = Runtime(nproc=4)
+        assert rt.compile(ia, strategy="auto").verdict.searched
+
+        @register_partitioner("test-auto-extra")
+        def extra(n, nproc):
+            return np.arange(n, dtype=np.int64) % nproc
+
+        try:
+            # The space changed under the store's key: a re-search, and
+            # the new strategy was part of it.
+            again = rt.compile(ia, strategy="auto").verdict
+            assert again.searched
+        finally:
+            partitioner_registry.unregister("test-auto-extra")
+
+    def test_same_seed_sessions_agree(self, fig3):
+        ia, _ = fig3
+        v1 = Runtime(nproc=4, tune_seed=11).compile(ia, strategy="auto").verdict
+        v2 = Runtime(nproc=4, tune_seed=11).compile(ia, strategy="auto").verdict
+        assert v1 == v2
+
+    def test_runtime_tune_is_public(self, mesh):
+        rt = Runtime(nproc=8)
+        verdict = rt.tune(mesh)
+        loop = rt.compile(mesh, **verdict.compile_kwargs())
+        assert loop.simulate().total_time == pytest.approx(verdict.sim_makespan)
+
+    def test_backend_arbitrated_tune_keys_separately(self):
+        # A warm sim-only verdict must NOT satisfy a request for
+        # real-backend arbitration (and vice versa): the two modes
+        # store under different keys.
+        rng = np.random.default_rng(8)
+        n = 300
+        ia = rng.integers(0, n, size=n)
+        kernel = SimpleLoopKernel(rng.standard_normal(n),
+                                  rng.standard_normal(n), ia)
+        rt = Runtime(nproc=2)
+        assert rt.tune(ia).searched
+        timed = rt.tune(ia, kernel=kernel, backend="serial")
+        assert timed.searched          # mode differs: searched again
+        assert not rt.tune(ia).searched                   # sim key warm
+        assert not rt.tune(ia, kernel=kernel, backend="serial").searched
