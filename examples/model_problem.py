@@ -10,6 +10,7 @@ Run:  python examples/model_problem.py
 
 import numpy as np
 
+from repro import LoopProgram
 from repro.analysis import ModelProblem
 from repro.core import compute_wavefronts, global_schedule, wavefront_members
 from repro.machine import ZERO_OVERHEAD, simulate
@@ -21,6 +22,23 @@ def main() -> None:
     mp = ModelProblem(M, N)
     dep = mp.dependence_graph()
     wf = compute_wavefronts(dep)
+
+    # The mesh sweep is just another loop program: trace-recording the
+    # stencil body rediscovers exactly the analysis module's graph.
+    def sweep(i, a):
+        acc = a.x[i]
+        if i % M > 0:
+            acc = acc + a.x[i - 1]      # west neighbour
+        if i // M > 0:
+            acc = acc + a.x[i - M]      # south neighbour
+        a.x[i] = acc
+
+    prog = LoopProgram.record(M * N, sweep, x=np.zeros(M * N))
+    rec = prog.dependence_graph()
+    same = (np.array_equal(rec.indptr, dep.indptr)
+            and np.array_equal(rec.indices, dep.indices))
+    print(f"trace-recorded stencil reproduces the model problem's "
+          f"dependence graph: {same}\n")
 
     print(f"Figure 9 — wavefront numbers on the {M}x{N} mesh "
           "(natural ordering, index = iy*m + ix):\n")

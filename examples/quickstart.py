@@ -2,26 +2,33 @@
 
 The loop below (Figure 3 of the paper) cannot be parallelized at
 compile time — iteration ``i`` reads ``x[ia[i]]``, and ``ia`` is data.
-This script shows the three ways the library handles it:
+This script shows the library's layers, top down:
 
-1. the ``Runtime`` API — open a session, ``compile()`` the dependence
-   data into a reusable loop, execute on any backend, and watch the
-   schedule cache amortise the inspection across compiles;
-2. pluggable strategies — register a custom partitioner and use it by
+1. the declarative front end — declare the access pattern as a
+   ``LoopProgram`` (or trace-record it), compile it into a bound loop,
+   execute, then *rebind* new data without paying for inspection;
+2. the raw-deps Runtime API — the low-level path: hand the session
+   dependence data and a kernel separately;
+3. pluggable strategies — register a custom partitioner and use it by
    name, without touching library code;
-3. the automated source transformer — generate the inspector and the
+4. the automated source transformer — generate the inspector and the
    Figure 4/5 executors directly from the loop's source code.
 
 Run:  python examples/quickstart.py
+      REPRO_EXAMPLE_SCALE=0.1 python examples/quickstart.py   # smoke
 """
+
+import os
 
 import numpy as np
 
-from repro import Runtime, parallelize_source, register_partitioner
+from repro import LoopProgram, Runtime, parallelize_source, register_partitioner
 from repro.core import SimpleLoopKernel
 
+SCALE = float(os.environ.get("REPRO_EXAMPLE_SCALE", "1.0"))
+
 rng = np.random.default_rng(2024)
-n = 2000
+n = max(int(2000 * SCALE), 100)
 x0 = rng.standard_normal(n)
 b = 0.5 * rng.standard_normal(n)
 ia = rng.integers(0, n, size=n)  # run-time dependence data
@@ -29,41 +36,61 @@ ia = rng.integers(0, n, size=n)  # run-time dependence data
 
 def main() -> None:
     # ------------------------------------------------------------------
-    # 1. The Runtime session
+    # 1. Declare -> compile -> run -> rebind
     # ------------------------------------------------------------------
     rt = Runtime(nproc=16)            # simulated processors, serial backend
-    loop = rt.compile(
-        ia,                           # the inspector reads the indirection array
-        executor="self",              # Figure 1's recommendation
-        scheduler="local",
-    )
-    out = loop(SimpleLoopKernel(x0, b, ia))
-    print("runtime: x[:4] =", np.round(out.x[:4], 4))
+    prog = LoopProgram.from_indirection(ia, x=x0, b=b)
+    loop = rt.compile(prog, executor="self", scheduler="local")
+    out = loop()                      # kernel already bound: no argument
+    print("program: x[:4] =", np.round(out.x[:4], 4))
     print(f"  wavefronts          : {out.inspection.num_wavefronts}")
     print(f"  simulated time      : {out.sim.total_time / 1000:.2f} model-ms")
     print(f"  parallel efficiency : {out.sim.efficiency:.3f}")
     print(f"  inspection cost     : {out.inspect_cost / 1000:.2f} model-ms"
           " (amortised across executions)")
 
-    # Recompiling the same structure hits the schedule cache — the
-    # PCGPAK pattern: one topological sort, many executions.
-    again = rt.compile(ia, executor="self", scheduler="local")
-    print(f"  recompile cache hit : {again.cache_hit} "
-          f"(stats: {rt.cache_stats.hits} hits / "
-          f"{rt.cache_stats.misses} misses)")
+    # New *values*, same structure: rebind swaps the data arrays and
+    # reuses the schedule — zero inspector work, the paper's
+    # amortisation argument made first-class.
+    before = rt.cache_stats.lookups
+    loop.rebind(x=np.zeros(n))
+    res = loop()
+    print(f"  rebind(x=...)       : x[:4] = {np.round(res.x[:4], 4)} "
+          f"(cache lookups while rebinding: {rt.cache_stats.lookups - before})")
+
+    # New *indices* force a recompile — the structure hash caught it.
+    changed = loop.rebind(ia=np.roll(ia, 1))
+    print(f"  rebind(ia=...)      : recompiled = {changed is not loop}")
+
+    # The same program can be declared without writing descriptors at
+    # all: record the body once over proxy arrays.
+    def body(i, a):
+        a.x[i] = a.x[i] + a.b[i] * a.x[int(ia[i])]
+
+    recorded = LoopProgram.record(n, body, x=x0, b=b)
+    rec = rt.compile(recorded, executor="self", scheduler="local")()
+    print(f"  trace-recorded body : matches declared = "
+          f"{np.array_equal(rec.x, out.x)}")
+
+    # ------------------------------------------------------------------
+    # 2. The raw-deps path (the low-level API underneath)
+    # ------------------------------------------------------------------
+    raw = rt.compile(ia, executor="self", scheduler="local")
+    res = raw(SimpleLoopKernel(x0, b, ia))
+    print(f"\nraw deps + explicit kernel: matches program path = "
+          f"{np.array_equal(res.x, out.x)} "
+          f"(cache hit: {res.cache_hit} — same structure, same entry)")
 
     # Compare executors on the same loop; the same RunReport shape
     # comes back whatever the executor or backend.
     print("\nexecutor comparison (same loop, 16 processors):")
     for executor in ("self", "preschedule", "doacross"):
-        res = rt.compile(ia, executor=executor, scheduler="global")(
-            SimpleLoopKernel(x0, b, ia)
-        )
+        res = rt.compile(prog, executor=executor, scheduler="global")()
         print(f"  {executor:<12} {res.sim.total_time / 1000:8.2f} model-ms   "
               f"efficiency {res.sim.efficiency:.3f}")
 
     # ------------------------------------------------------------------
-    # 2. Pluggable strategies: register, then use by name
+    # 3. Pluggable strategies: register, then use by name
     # ------------------------------------------------------------------
     @register_partitioner("even-odd")
     def even_odd(n, nproc):
@@ -73,15 +100,15 @@ def main() -> None:
         owner[order] = np.arange(n) % nproc
         return owner
 
-    custom = rt.compile(ia, scheduler="local", assignment="even-odd")
-    res = custom(SimpleLoopKernel(x0, b, ia))
+    custom = rt.compile(prog, scheduler="local", assignment="even-odd")
+    res = custom()
     print(f"\ncustom 'even-odd' assignment: efficiency {res.sim.efficiency:.3f}"
           f" (matches: {np.allclose(res.x, out.x)})")
 
     # ------------------------------------------------------------------
-    # 3. The automated transformation (Section 2.2)
+    # 4. The automated transformation (Section 2.2)
     # ------------------------------------------------------------------
-    loop = parallelize_source(
+    tloop = parallelize_source(
         """
 def simple(x, b, ia, n):
     for i in range(n):
@@ -89,10 +116,10 @@ def simple(x, b, ia, n):
 """
     )
     print("\ngenerated self-executing executor (Figure 4):\n")
-    print(loop.self_executor_source)
+    print(tloop.self_executor_source)
 
-    got = loop.run(x0, b, ia, n, nproc=8, executor="self")
-    ref = loop.run_original(x0, b, ia, n)
+    got = tloop.run(x0, b, ia, n, nproc=8, executor="self")
+    ref = tloop.run_original(x0, b, ia, n)
     print("transformed loop matches the sequential original:",
           np.allclose(got, ref))
 

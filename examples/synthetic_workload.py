@@ -10,8 +10,8 @@ Run:  python examples/synthetic_workload.py
 
 import numpy as np
 
-from repro import Runtime, ScheduleCache
-from repro.core import DependenceGraph, compute_wavefronts
+from repro import LoopProgram, Runtime, ScheduleCache
+from repro.core import compute_wavefronts
 from repro.workload import generate_workload
 
 NPROC = 16
@@ -19,7 +19,8 @@ NPROC = 16
 
 def describe(name: str, rt: Runtime) -> None:
     wl = generate_workload(name)
-    dep = DependenceGraph.from_lower_csr(wl.matrix)
+    prog = LoopProgram.from_csr(wl.matrix, name=wl.name)
+    dep = prog.dependence_graph()
     wf = compute_wavefronts(dep)
     deg = wl.dependence_counts()
     print(f"\nworkload {wl.name}: {wl.n} indices, "
@@ -27,8 +28,8 @@ def describe(name: str, rt: Runtime) -> None:
     print(f"  in-degree mean/max      : {deg.mean():.2f} / {deg.max()}")
     print(f"  wavefronts (phases)     : {wf.max() + 1}")
 
-    loop_g = rt.compile(dep, executor="self", scheduler="global")
-    loop_l = rt.compile(dep, executor="self", scheduler="local")
+    loop_g = rt.compile(prog, executor="self", scheduler="global")
+    loop_l = rt.compile(prog, executor="self", scheduler="local")
     sim_g, sim_l = loop_g.simulate(), loop_l.simulate()
     res_g, res_l = loop_g.inspection, loop_l.inspection
     print(f"  global: setup {res_g.costs.total_global / 1000:6.1f} model-ms, "
@@ -40,14 +41,14 @@ def describe(name: str, rt: Runtime) -> None:
 def synchronization_sweep(name: str, cache: ScheduleCache) -> None:
     """Figure 12's experiment on a synthetic workload."""
     wl = generate_workload(name)
-    dep = DependenceGraph.from_lower_csr(wl.matrix)
+    prog = LoopProgram.from_csr(wl.matrix, name=wl.name)
     print(f"\nbarrier vs self-execution on {name} "
           "(striped assignment, local sort only):")
     print(f"{'p':>4} {'barrier eff':>12} {'self eff':>10}")
     for p in (2, 4, 8, 12, 16):
         rt = Runtime(nproc=p, cache=cache)
-        pre = rt.compile(dep, executor="preschedule", scheduler="local")
-        slf = rt.compile(dep, executor="self", scheduler="local")
+        pre = rt.compile(prog, executor="preschedule", scheduler="local")
+        slf = rt.compile(prog, executor="self", scheduler="local")
         print(f"{p:>4} {pre.simulate().efficiency:>12.3f} "
               f"{slf.simulate().efficiency:>10.3f}")
 

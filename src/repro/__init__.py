@@ -11,17 +11,20 @@ shared-memory multiprocessor, a parallel preconditioned Krylov solver
 Quick start
 -----------
 >>> import numpy as np
->>> from repro import Runtime
->>> from repro.core import SimpleLoopKernel
+>>> from repro import LoopProgram, Runtime
 >>> ia = np.array([0, 0, 1, 2, 1, 4])
->>> kernel = SimpleLoopKernel(np.ones(6), 0.5 * np.ones(6), ia)
+>>> prog = LoopProgram.from_indirection(ia, x=np.ones(6),
+...                                     b=0.5 * np.ones(6))
 >>> rt = Runtime(nproc=4)
->>> out = rt.compile(ia)(kernel)
+>>> loop = rt.compile(prog)       # dependence extraction + schedule
+>>> out = loop()                  # the kernel is already bound
 >>> round(float(out.sim.efficiency), 3) <= 1.0
 True
+>>> _ = loop.rebind(x=np.zeros(6))   # new data, zero inspector work
 
-(The legacy ``doconsider`` construct remains available as a thin shim
-over the runtime.)
+(Raw dependence data still compiles directly —
+``rt.compile(ia)(kernel)`` — and the legacy ``doconsider`` construct
+remains available as a thin shim over the runtime.)
 
 See ``examples/`` for full walkthroughs and ``benchmarks/`` for the
 table/figure reproductions.
@@ -40,6 +43,7 @@ from .core.doconsider import doconsider, DoconsiderLoop, DoconsiderResult
 from .core.transform import parallelize, parallelize_source, ParallelizedLoop
 from .core.inspector import Inspector, InspectionResult
 from .machine.costs import MachineCosts, MULTIMAX_320
+from .program import At, BoundLoop, LoopProgram
 from .runtime import (
     Runtime,
     CompiledLoop,
@@ -55,6 +59,9 @@ from .tuning import Tuner, TuningStore, TuningVerdict
 __version__ = "1.1.0"
 
 __all__ = [
+    "At",
+    "BoundLoop",
+    "LoopProgram",
     "Runtime",
     "CompiledLoop",
     "RunReport",

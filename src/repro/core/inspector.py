@@ -118,12 +118,16 @@ class Inspector:
     def dependences_of(source) -> DependenceGraph:
         """Normalise a dependence source.
 
-        Accepts a :class:`DependenceGraph`, a lower-triangular
+        Accepts a :class:`DependenceGraph`, a
+        :class:`~repro.program.LoopProgram` (its declared access
+        patterns supply the graph), a lower-triangular
         :class:`CSRMatrix` (Figure 8 loops), or a 1-D indirection array
         (Figure 3 loops).
         """
         if isinstance(source, DependenceGraph):
             return source
+        if getattr(source, "__loop_program__", False):
+            return source.dependence_graph()
         if isinstance(source, CSRMatrix):
             return DependenceGraph.from_lower_csr(source)
         arr = np.asarray(source)
@@ -132,8 +136,8 @@ class Inspector:
         if arr.ndim == 2:
             return DependenceGraph.from_indirection_nested(arr)
         raise ValidationError(
-            "dependence source must be a DependenceGraph, CSRMatrix, or "
-            "1-D/2-D indirection array"
+            "dependence source must be a DependenceGraph, LoopProgram, "
+            "CSRMatrix, or 1-D/2-D indirection array"
         )
 
     # ------------------------------------------------------------------

@@ -48,8 +48,11 @@ __all__ = [
     "load_schedule_npz",
 ]
 
-#: Valid ``balance=`` values of :func:`global_schedule`.
-BALANCE_OPTIONS = ("greedy", "wrapped")
+#: Valid ``balance=`` values of :func:`global_schedule` — also the
+#: ``balance_options`` metadata of the registered ``"global"``
+#: scheduler (one source of truth for validation and the tuner's
+#: candidate enumeration, which preserves this order).
+BALANCE_OPTIONS = ("wrapped", "greedy")
 
 
 @dataclass
@@ -356,7 +359,11 @@ def _local_lists(owner: np.ndarray, wf: np.ndarray, nproc: int) -> list[np.ndarr
 # ignore it (local, identity) share one cache entry across balance
 # strings.  User-registered schedulers default to consuming it — the
 # conservative choice: never serve a schedule the strategy might not
-# have built.
+# have built.  ``balance_options`` declares the accepted values (the
+# Runtime validates them eagerly, and the tuner's ``enumerate_space``
+# crosses them into the candidate space); ``repartitions`` marks
+# schedulers that rebuild the assignment, so the initial partition is
+# irrelevant to them.
 
 #: Valid ``weights=`` sources of the ``"global:weights=…"`` spec:
 #: ``unit`` — unweighted greedy (the default ``weights=None``);
@@ -367,6 +374,8 @@ WEIGHT_SOURCES = ("unit", "deps", "work")
 
 
 @register_scheduler("global", consumes_balance=True,
+                    balance_options=BALANCE_OPTIONS,
+                    repartitions=True,
                     params={"weights": str})
 def _global_adapter(wf, owner, nproc, *, balance="wrapped", weights=None):
     # A string reaching this adapter is a weight *source* from a

@@ -25,12 +25,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..core.dependence import DependenceGraph
 from ..core.inspector import InspectorCosts
 from ..core.schedule import Schedule, global_schedule, identity_schedule, local_schedule
 from ..core.partition import blocked_partition, wrapped_partition
 from ..errors import ValidationError
 from ..machine.costs import MachineCosts, MULTIMAX_320
+from ..program import LoopProgram
 from ..runtime.session import Runtime
 from ..machine.simulator import (
     SimResult,
@@ -208,24 +208,38 @@ class ParallelSolver:
         self.ilu_level = ilu_level
         self.runtime = runtime
 
-        # Build the preconditioner once; its pattern drives the
-        # dependence analysis for solves and numeric factorization.
+        # Build the preconditioner once; its factor structure *is* the
+        # run-time input — both triangular directions are declared as
+        # loop programs (access patterns in, dependence analysis owned
+        # by the front end) and compiled through the runtime, so their
+        # inspections are cached and shared across solvers, and the
+        # bound loops rebind to each new right-hand side without
+        # touching the inspector.
         self.precond = ILUPreconditioner(a, ilu_level)
-        lu = self.precond.factorization.lu
-        self.dep_lower = DependenceGraph.from_lower_csr(lu)
-        self.dep_upper = DependenceGraph.from_upper_csr(lu)
+        fact = self.precond.factorization
+        lu = fact.lu
         self.pattern = lu
-
-        # Both triangular directions compile through the runtime, so
-        # their inspections are cached and shared across solvers.
-        self._insp_lower = runtime.compile(
-            self.dep_lower, executor=executor, scheduler=scheduler,
+        n = a.nrows
+        self.program_lower = LoopProgram.from_csr(
+            fact.l_strict, np.zeros(n), unit_diagonal=True,
+            name=f"ilu{ilu_level}-lower",
+        )
+        self.program_upper = LoopProgram.from_csr(
+            fact.u, np.zeros(n), lower=False, diag=fact.u_diag,
+            name=f"ilu{ilu_level}-upper",
+        )
+        self.lower_loop = runtime.compile(
+            self.program_lower, executor=executor, scheduler=scheduler,
             assignment="wrapped",
-        ).inspection
-        self._insp_upper = runtime.compile(
-            self.dep_upper, executor=executor, scheduler=scheduler,
+        )
+        self.upper_loop = runtime.compile(
+            self.program_upper, executor=executor, scheduler=scheduler,
             assignment="wrapped",
-        ).inspection
+        )
+        self.dep_lower = self.lower_loop.dep
+        self.dep_upper = self.upper_loop.dep
+        self._insp_lower = self.lower_loop.inspection
+        self._insp_upper = self.upper_loop.inspection
         self.schedule_lower: Schedule = self._insp_lower.schedule
         self.schedule_upper: Schedule = self._insp_upper.schedule
 
@@ -273,6 +287,24 @@ class ParallelSolver:
             "gemv_per_el": c.t_work_per_dep,
         }
         return times
+
+    # ------------------------------------------------------------------
+    def triangular_solve(self, b: np.ndarray, *, upper: bool = False,
+                         backend: str | None = None) -> np.ndarray:
+        """Numerically solve one factor system through the bound loop.
+
+        The Krylov amortisation pattern made literal: each call rebinds
+        the right-hand side (zero inspector work — the structure hash
+        is untouched) and executes the already-compiled schedule.
+        Forward solves ``L y = b`` with the unit-lower factor; backward
+        (``upper=True``) solves ``U x = b``.  ``backend`` defaults to
+        ``"serial"`` (not the session default, which may be the
+        numbers-free ``"sim"`` backend — this method always returns a
+        numeric solution).
+        """
+        loop = self.upper_loop if upper else self.lower_loop
+        loop.rebind(b=np.asarray(b, dtype=np.float64))
+        return loop(backend=backend or "serial", with_sim=False).x
 
     # ------------------------------------------------------------------
     @property

@@ -61,6 +61,32 @@ class TestProblem:
         """Stencil operators have structurally symmetric patterns."""
         return True
 
+    def loop_program(self, *, factored: bool = False, b=None):
+        """This problem's Figure 8 workload as a declarative program.
+
+        Returns a :class:`~repro.program.LoopProgram` for the forward
+        substitution induced by the problem: with ``factored=True`` the
+        unit-lower ILU(0) factor (the paper's actual workload — the
+        matrix is factored first, then the solve parallelized), else
+        the matrix's own strict lower triangle with an implicit unit
+        diagonal.  ``b`` defaults to the problem's right-hand side; the
+        program is ready to compile on any
+        :class:`~repro.runtime.Runtime` and to ``rebind`` per solve.
+        """
+        from ..program import LoopProgram  # deferred: import cycle
+        from ..sparse.triangular import split_triangular
+
+        rhs = self.b if b is None else b
+        if factored:
+            from ..krylov.ilu import ILUPreconditioner  # deferred: cycle
+
+            l_strict = ILUPreconditioner(self.a, 0).factorization.l_strict
+            return LoopProgram.from_csr(l_strict, rhs, unit_diagonal=True,
+                                        name=f"{self.name}-ilu0-lower")
+        l_strict, _, _ = split_triangular(self.a)
+        return LoopProgram.from_csr(l_strict, rhs, unit_diagonal=True,
+                                    name=f"{self.name}-lower")
+
 
 #: Canonical problem names in the order the paper's tables list them.
 PROBLEM_NAMES = (

@@ -1,0 +1,26 @@
+"""repro.program — the declarative loop-program front end.
+
+Access patterns in, bound executable loops out: declare what each
+iteration reads and writes (:class:`At` descriptors, the ``from_*``
+convenience constructors, or :meth:`LoopProgram.record`'s trace
+recorder), and the :class:`LoopProgram` owns dependence extraction and
+kernel binding.  Compiling a program through
+:class:`~repro.runtime.Runtime` returns a :class:`BoundLoop`, whose
+:meth:`~BoundLoop.rebind` swaps data arrays with zero inspector work —
+the paper's amortisation argument made first-class.
+"""
+
+from .binding import BoundLoop, LoopProgram
+from .descriptors import At, ResolvedAccess
+from .extraction import extract_dependences
+from .recording import RecordedKernel, record_trace
+
+__all__ = [
+    "At",
+    "BoundLoop",
+    "LoopProgram",
+    "RecordedKernel",
+    "ResolvedAccess",
+    "extract_dependences",
+    "record_trace",
+]

@@ -1,0 +1,371 @@
+"""`LoopProgram` and `BoundLoop` — declare once, execute many, rebind cheaply.
+
+The paper's whole premise is that the *access pattern* is the run-time
+input and everything else — dependence graph, schedule, execution — is
+derived.  :class:`LoopProgram` makes that the API: declare ``n``, the
+reads and writes (:class:`~repro.program.descriptors.At` descriptors),
+and the kernel, and the program owns dependence extraction and kernel
+binding.  Compiling through a :class:`~repro.runtime.Runtime` yields a
+:class:`BoundLoop` — a :class:`~repro.runtime.CompiledLoop` whose
+kernel is already attached::
+
+    prog = LoopProgram.from_indirection(ia, x=x0, b=b)
+    loop = rt.compile(prog)          # schedule + kernel, bound
+    report = loop()                  # no kernel argument needed
+    loop.rebind(x=x1)                # new data, zero inspector work
+    report = loop()
+
+``rebind`` is the paper's amortisation argument made first-class: new
+*values* never pay for inspection, and a structure hash over the
+descriptors' index arrays guards the reuse — rebinding an index array
+(``rebind(ia=ia2)``) recompiles exactly when the indices actually
+changed.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..runtime.session import CompiledLoop
+from .descriptors import At
+from .extraction import extract_dependences
+from .recording import RecordedKernel, record_trace
+
+__all__ = ["LoopProgram", "BoundLoop"]
+
+
+class LoopProgram:
+    """A declarative loop: access patterns in, bound executable out.
+
+    Parameters
+    ----------
+    n:
+        Iteration count.
+    reads / writes:
+        :class:`~repro.program.descriptors.At` descriptors of every
+        array access the body performs.  Descriptors with *named*
+        indices resolve against ``data`` and are rebindable.
+    kernel:
+        Either a ready :class:`~repro.core.executor.LoopKernel`
+        instance, or a factory called as ``kernel(**data)`` — the
+        factory form is what makes :meth:`BoundLoop.rebind` possible.
+        ``None`` declares a dependence-only program (compiling it
+        yields an unbound loop that takes the kernel per call).
+    data:
+        Named arrays the kernel factory (and named indices) bind to.
+    name:
+        Optional label for reports and reprs.
+    """
+
+    #: Duck-type marker, so the Runtime recognizes programs without
+    #: importing this module.
+    __loop_program__ = True
+
+    def __init__(self, n: int, *, reads=(), writes=(), kernel=None,
+                 data=None, name: str | None = None):
+        if n < 0:
+            raise ValidationError("n must be non-negative")
+        self.n = int(n)
+        self.reads = tuple(self._check_descriptor(d) for d in reads)
+        self.writes = tuple(self._check_descriptor(d) for d in writes)
+        self.kernel = kernel
+        self.data = dict(data or {})
+        self.name = name
+        # Validate every descriptor eagerly: mismatched lengths and
+        # dangling index names must fail at declaration, not first use.
+        self._resolved_reads = [d.resolve(self.n, self.data) for d in self.reads]
+        self._resolved_writes = [d.resolve(self.n, self.data) for d in self.writes]
+        self._dep = None
+        self._hash: str | None = None
+
+    @staticmethod
+    def _check_descriptor(d) -> At:
+        if not isinstance(d, At):
+            raise ValidationError(
+                f"reads/writes entries must be At(...) descriptors, got "
+                f"{type(d).__name__}"
+            )
+        return d
+
+    # ------------------------------------------------------------------
+    # Derived structure
+    # ------------------------------------------------------------------
+    def dependence_graph(self):
+        """The extracted dependence graph (cached per structure)."""
+        if self._dep is None:
+            reads: dict[str, list] = {}
+            writes: dict[str, list] = {}
+            for acc in self._resolved_reads:
+                reads.setdefault(acc.array, []).append(acc)
+            for acc in self._resolved_writes:
+                writes.setdefault(acc.array, []).append(acc)
+            self._dep = extract_dependences(self.n, reads, writes)
+        return self._dep
+
+    def structure_hash(self) -> str:
+        """Digest of everything the dependence extraction consumes.
+
+        Two programs with equal hashes have identical dependence
+        structure; the hash is what :meth:`BoundLoop.rebind` checks
+        before deciding a recompile is needed.
+        """
+        if self._hash is None:
+            h = hashlib.blake2b(digest_size=16)
+            h.update(str(self.n).encode())
+            for kind, accs in (("r", self._resolved_reads),
+                               ("w", self._resolved_writes)):
+                for acc in accs:
+                    h.update(f"|{kind}:{acc.array}:".encode())
+                    h.update(acc.structure_bytes())
+            self._hash = h.hexdigest()
+        return self._hash
+
+    def structural_names(self) -> frozenset:
+        """Data-entry names that feed the dependence structure."""
+        names = [d.index_name for d in self.reads + self.writes
+                 if d.index_name is not None]
+        return frozenset(names)
+
+    # ------------------------------------------------------------------
+    # Binding
+    # ------------------------------------------------------------------
+    @property
+    def rebindable(self) -> bool:
+        """Whether new data can reach execution.
+
+        True for factory kernels (rebuilt per binding) and kernel-free
+        programs; False for a ready-made kernel *instance*, whose
+        captured arrays :meth:`BoundLoop.rebind` cannot replace.
+        """
+        return self.kernel is None or self._kernel_is_factory()
+
+    def _kernel_is_factory(self) -> bool:
+        return (callable(self.kernel)
+                and not hasattr(self.kernel, "execute_index"))
+
+    def make_kernel(self):
+        """Instantiate the kernel against the currently bound data."""
+        if self.kernel is None:
+            return None
+        if self._kernel_is_factory():
+            return self.kernel(**self.data)
+        return self.kernel
+
+    def with_data(self, **arrays) -> "LoopProgram":
+        """A new program with some data entries replaced.
+
+        Unknown names fail eagerly.  When no structural entry (index
+        source) is touched, the resolved descriptors, dependence graph
+        and structure hash all carry over — a pure data swap costs one
+        dict merge, nothing proportional to the problem size, which is
+        what keeps per-iteration rebinding (the Krylov pattern) free.
+        A touched index source re-resolves and re-extracts only if its
+        values actually changed (checked by hash).
+        """
+        unknown = sorted(set(arrays) - set(self.data))
+        if unknown:
+            raise ValidationError(
+                f"cannot rebind unknown data entries {unknown}; bound "
+                f"entries are: {sorted(self.data)}"
+            )
+        data = dict(self.data)
+        data.update(arrays)
+        fresh = copy.copy(self)
+        fresh.data = data
+        if set(arrays) & self.structural_names():
+            fresh._resolved_reads = [d.resolve(self.n, data)
+                                     for d in self.reads]
+            fresh._resolved_writes = [d.resolve(self.n, data)
+                                      for d in self.writes]
+            fresh._dep = None
+            fresh._hash = None
+            if fresh.structure_hash() == self.structure_hash():
+                fresh._dep = self._dep
+        # else: no index source touched — the shallow copy already
+        # shares the resolved structure, graph and hash wholesale.
+        return fresh
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_indirection(cls, ia, *, x=None, b=None, n: int | None = None,
+                         name: str | None = None) -> "LoopProgram":
+        """The Figure 3 program ``x[i] = x[i] + b[i] * x[ia[i]]``.
+
+        ``ia`` is bound as a *named* index, so ``rebind(ia=...)`` works
+        (with the structure-hash guard deciding whether a recompile is
+        due); ``x``/``b`` bind the kernel — omit them for a
+        dependence-only program.
+        """
+        from ..core.executor import SimpleLoopKernel  # deferred: cycle
+
+        ia = np.asarray(ia)
+        if n is None:
+            n = ia.shape[0]
+        data = {"ia": ia}
+        kernel = None
+        if x is not None or b is not None:
+            if x is None or b is None:
+                raise ValidationError(
+                    "from_indirection binds a kernel only when both x "
+                    "and b are given (pass neither for dependences only)"
+                )
+            data["x"] = np.asarray(x, dtype=np.float64)
+            data["b"] = np.asarray(b, dtype=np.float64)
+            kernel = lambda x, b, ia: SimpleLoopKernel(x, b, ia)  # noqa: E731
+        return cls(
+            int(n),
+            reads=(At("x", "ia"), At("b")),
+            writes=(At("x"),),
+            kernel=kernel,
+            data=data,
+            name=name or "figure3",
+        )
+
+    @classmethod
+    def from_csr(cls, t, b=None, *, lower: bool = True, diag=None,
+                 unit_diagonal: bool = False,
+                 name: str | None = None) -> "LoopProgram":
+        """The Figure 8 triangular-solve program over a CSR matrix.
+
+        ``lower=False`` declares the backward substitution in the
+        library's renumbered convention (iteration ``k`` solves row
+        ``n-1-k``), so every scheduler applies unchanged.  ``b`` binds
+        the right-hand side — the rebindable data of the Krylov
+        pattern; omit it for a dependence-only program.
+        """
+        from ..core.executor import (  # deferred: cycle
+            TriangularSolveKernel,
+            UpperTriangularSolveKernel,
+        )
+        from ..util.frontier import counts_to_indptr
+
+        n = t.nrows
+        rows = t.row_of_nnz()
+        if lower:
+            strict = t.indices < rows
+            it = rows[strict]
+            el = t.indices[strict]
+        else:
+            strict = t.indices > rows
+            it = n - 1 - rows[strict]
+            el = n - 1 - t.indices[strict]
+        order = np.argsort(it, kind="stable")
+        indptr = counts_to_indptr(np.bincount(it, minlength=n))
+        reads = (At("x", (indptr, el[order])), At("b"))
+        data = {}
+        kernel = None
+        if b is not None:
+            data["b"] = np.asarray(b, dtype=np.float64)
+            if lower:
+                kernel = lambda b: TriangularSolveKernel(  # noqa: E731
+                    t, b, diag=diag, unit_diagonal=unit_diagonal)
+            else:
+                kernel = lambda b: UpperTriangularSolveKernel(  # noqa: E731
+                    t, b, diag=diag, unit_diagonal=unit_diagonal)
+        return cls(
+            n,
+            reads=reads,
+            writes=(At("x"),),
+            kernel=kernel,
+            data=data,
+            name=name or ("figure8-lower" if lower else "figure8-upper"),
+        )
+
+    @classmethod
+    def record(cls, n: int, body, *, name: str | None = None,
+               **arrays) -> "LoopProgram":
+        """Trace-record ``body(i, arrays)`` into a program.
+
+        The body runs once per iteration over recording proxies; every
+        scalar element access becomes a descriptor, and execution
+        replays the body over the real ``arrays`` with Figure 4
+        renaming.  Bodies whose access pattern depends on array
+        *values* (data-dependent branches, computed subscripts) raise
+        :class:`~repro.errors.ValidationError` during recording.
+        """
+        trace = record_trace(n, body, arrays.keys())
+        reads, writes = trace.descriptors()
+
+        def factory(**data):
+            return RecordedKernel(n, body, trace, data)
+
+        return cls(int(n), reads=reads, writes=writes, kernel=factory,
+                   data=arrays, name=name or "recorded")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = f" {self.name!r}" if self.name else ""
+        return (f"LoopProgram({label and label + ', '}n={self.n}, "
+                f"reads={len(self.reads)}, writes={len(self.writes)}, "
+                f"bound={self.kernel is not None})")
+
+
+class BoundLoop(CompiledLoop):
+    """A compiled loop with its program and kernel attached.
+
+    Everything a :class:`~repro.runtime.CompiledLoop` does, plus:
+    calling it with no kernel runs the program's own, and
+    :meth:`rebind` swaps data without touching the inspector.
+    """
+
+    def __init__(self, *args, program: LoopProgram, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.program = program
+        #: Data-only rebinds served without any inspector work.
+        self.rebinds = 0
+
+    def rebind(self, **arrays) -> "BoundLoop":
+        """Swap data arrays; recompile only if the structure changed.
+
+        Pure data swaps (anything that is not an index source, or index
+        sources whose values are unchanged) mutate this loop in place —
+        zero inspector work, zero cache traffic — and return ``self``.
+        A rebind that actually changes an index array returns a *new*
+        :class:`BoundLoop` compiled under the same strategy (or a fresh
+        ``strategy="auto"`` verdict when this loop was tuned).
+
+        Always use the return value (``loop = loop.rebind(...)``): it
+        is the loop bound to the new data in both cases, so callers
+        never run a stale schedule by accident.
+
+        Programs that bound a ready-made kernel *instance* cannot be
+        rebound — the instance's captured arrays are out of reach, so
+        honouring the call would silently keep executing the old data.
+        Declare the kernel as a factory (``kernel=lambda **data: ...``)
+        to make a program rebindable.
+        """
+        if arrays and not self.program.rebindable:
+            raise ValidationError(
+                "this program binds a ready-made kernel instance, so "
+                "rebound data could never reach execution; declare the "
+                "kernel as a factory (kernel=lambda **data: ...) to "
+                "make the program rebindable"
+            )
+        program = self.program.with_data(**arrays)
+        structural = set(arrays) & self.program.structural_names()
+        if structural and program.structure_hash() != self.program.structure_hash():
+            if self.verdict is not None:
+                return self.runtime.compile(program, strategy="auto")
+            return self.runtime.compile(
+                program,
+                executor=self.executor_name,
+                scheduler=self.scheduler_name,
+                assignment=self.assignment,
+                balance=self.balance,
+            )
+        self.program = program
+        self.bound_kernel = program.make_kernel()
+        self.rebinds += 1
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = f" {self.program.name!r}" if self.program.name else ""
+        return (f"BoundLoop({label and label + ', '}n={self.dep.n}, "
+                f"executor={self.executor_name!r}, "
+                f"scheduler={self.inspection.strategy!r}, "
+                f"rebinds={self.rebinds})")

@@ -1,0 +1,181 @@
+"""Access descriptors — what a loop program reads and writes.
+
+A :class:`At` descriptor declares one array access of the loop body:
+``At("x", ia)`` means "iteration ``i`` touches ``x[ia[i]]``".  The index
+can be
+
+* ``None`` — the identity access ``x[i]`` (the left-hand side of
+  Figure 3, the row being solved in Figure 8);
+* a 1-D integer array of length ``n`` — one element per iteration
+  (Figure 3's ``x[ia[i]]``);
+* a 2-D ``(n, m)`` integer array — ``m`` elements per iteration
+  (Figure 6's nested references);
+* a ragged ``(indptr, indices)`` pair — a variable number of elements
+  per iteration (Figure 8's row structure);
+* a *string* — the name of an entry of the program's data dictionary
+  holding any of the above.  Named indices are the rebindable kind:
+  ``BoundLoop.rebind(ia=...)`` can replace them, and the structure-hash
+  guard decides whether the dependence analysis must be redone.
+
+Descriptors are declarative: they carry no array *values*, only which
+elements each iteration touches — exactly the information the paper's
+run-time inspector consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..util.frontier import counts_to_indptr
+from ..util.validation import as_int_array
+
+__all__ = ["At", "ResolvedAccess"]
+
+
+@dataclass(frozen=True)
+class ResolvedAccess:
+    """One descriptor resolved to ragged CSR form.
+
+    ``indices[indptr[i]:indptr[i+1]]`` are the elements iteration ``i``
+    touches; ``identity`` marks the common ``x[i]`` access, for which
+    ``indptr``/``indices`` are not materialized.
+    """
+
+    array: str
+    identity: bool
+    indptr: np.ndarray | None = None
+    indices: np.ndarray | None = None
+
+    def structure_bytes(self) -> bytes:
+        """Deterministic bytes for the structure hash."""
+        if self.identity:
+            return b"identity"
+        return (np.ascontiguousarray(self.indptr).tobytes()
+                + b"|" + np.ascontiguousarray(self.indices).tobytes())
+
+
+class At:
+    """Declares one array access pattern of a loop body.
+
+    Parameters
+    ----------
+    array:
+        Name of the accessed array (a key of the program's data dict
+        when the program binds data).
+    index:
+        ``None`` for the identity access ``array[i]``; a 1-D/2-D
+        integer array, a ragged ``(indptr, indices)`` pair, or the
+        *name* of a data entry holding one of those (named indices are
+        the rebindable, structure-bearing kind).
+    """
+
+    __slots__ = ("array", "index")
+
+    def __init__(self, array: str, index=None):
+        if not isinstance(array, str) or not array:
+            raise ValidationError("At() array must be a non-empty name")
+        self.array = array
+        self.index = index
+
+    # ------------------------------------------------------------------
+    @property
+    def index_name(self) -> str | None:
+        """The data-entry name of a named (rebindable) index, else None."""
+        return self.index if isinstance(self.index, str) else None
+
+    def resolve(self, n: int, data: dict) -> ResolvedAccess:
+        """Normalize to :class:`ResolvedAccess`, validating shapes."""
+        index = self.index
+        if isinstance(index, str):
+            if index not in data:
+                raise ValidationError(
+                    f"descriptor At({self.array!r}, {index!r}) names a "
+                    f"data entry {index!r} that is not bound; bound "
+                    f"entries are: {sorted(data) or '(none)'}"
+                )
+            index = data[index]
+        if index is None:
+            return ResolvedAccess(self.array, identity=True)
+        if isinstance(index, tuple):
+            return self._resolve_ragged(n, index)
+        arr = as_int_array(index, f"At({self.array!r}) index")
+        if arr.ndim == 1:
+            if arr.shape[0] != n:
+                raise ValidationError(
+                    f"descriptor for array {self.array!r} has "
+                    f"{arr.shape[0]} index entries, expected one per "
+                    f"iteration (n={n})"
+                )
+            self._check_nonnegative(arr)
+            return ResolvedAccess(
+                self.array, identity=False,
+                indptr=np.arange(n + 1, dtype=np.int64), indices=arr,
+            )
+        if arr.ndim == 2:
+            if arr.shape[0] != n:
+                raise ValidationError(
+                    f"descriptor for array {self.array!r} has "
+                    f"{arr.shape[0]} index rows, expected n={n}"
+                )
+            self._check_nonnegative(arr)
+            indptr = np.arange(n + 1, dtype=np.int64) * arr.shape[1]
+            return ResolvedAccess(
+                self.array, identity=False,
+                indptr=indptr, indices=arr.ravel(),
+            )
+        raise ValidationError(
+            f"descriptor index for array {self.array!r} must be None, a "
+            "1-D/2-D integer array, an (indptr, indices) pair, or the "
+            "name of a bound data entry"
+        )
+
+    # ------------------------------------------------------------------
+    def _resolve_ragged(self, n: int, pair: tuple) -> ResolvedAccess:
+        if len(pair) != 2:
+            raise ValidationError(
+                f"ragged index for array {self.array!r} must be an "
+                "(indptr, indices) pair"
+            )
+        indptr = as_int_array(pair[0], "indptr")
+        indices = as_int_array(pair[1], "indices")
+        if indptr.shape[0] != n + 1:
+            raise ValidationError(
+                f"ragged indptr for array {self.array!r} has length "
+                f"{indptr.shape[0]}, expected n+1={n + 1}"
+            )
+        if indptr[0] != 0 or np.any(np.diff(indptr) < 0):
+            raise ValidationError(
+                f"ragged indptr for array {self.array!r} must start at 0 "
+                "and be non-decreasing"
+            )
+        if int(indptr[-1]) != indices.shape[0]:
+            raise ValidationError(
+                f"ragged indices for array {self.array!r} has length "
+                f"{indices.shape[0]}, expected indptr[-1]={int(indptr[-1])}"
+            )
+        self._check_nonnegative(indices)
+        return ResolvedAccess(self.array, identity=False,
+                              indptr=indptr, indices=indices)
+
+    def _check_nonnegative(self, arr: np.ndarray) -> None:
+        if arr.size and arr.min() < 0:
+            raise ValidationError(
+                f"descriptor for array {self.array!r} contains negative "
+                "element indices"
+            )
+
+    @staticmethod
+    def from_counts(array: str, counts: np.ndarray, indices) -> "At":
+        """Ragged descriptor from per-iteration access counts."""
+        return At(array, (counts_to_indptr(as_int_array(counts, "counts")),
+                          indices))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.index is None:
+            return f"At({self.array!r})"
+        if isinstance(self.index, str):
+            return f"At({self.array!r}, index={self.index!r})"
+        return f"At({self.array!r}, index=<{type(self.index).__name__}>)"

@@ -1,0 +1,328 @@
+"""Trace recording — derive access descriptors by running the body once.
+
+The fallback front end for loops nobody wants to describe by hand:
+:func:`record_trace` executes the body one iteration at a time over
+*proxy* arrays that log every element read and write, producing the
+ragged access descriptors a :class:`~repro.program.LoopProgram` needs.
+This is the paper's Section 2.2 source transformation done dynamically:
+instead of parsing the loop, we observe it.
+
+Recording is only sound when the access *pattern* does not depend on
+array *values* — the same precondition the paper's inspector has.  The
+proxies enforce it: using a traced value in a branch (``if x[i] > 0``),
+as a subscript (``x[int(y[i])]``), or converting it to a Python scalar
+raises :class:`~repro.errors.ValidationError` immediately, naming the
+offense.  Loop bodies may freely branch on the iteration number or any
+non-array state.
+
+Execution then *replays* the same body over real arrays through
+:class:`RecordedKernel`, with the Figure 4 renaming applied
+automatically: a read whose latest writer is a later iteration returns
+the original value, so any legal reordering reproduces the sequential
+result.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.executor import LoopKernel
+from ..errors import ValidationError
+from ..util.frontier import counts_to_indptr
+from .descriptors import At
+
+__all__ = ["record_trace", "RecordedKernel", "RecordedTrace"]
+
+
+_CONTROL_FLOW_MSG = (
+    "data-dependent control flow: the loop body used an array value in "
+    "a {what} while being trace-recorded.  Recording requires the "
+    "access pattern to be independent of array values (the run-time "
+    "inspector's precondition) — declare the accesses explicitly with "
+    "At(...) descriptors instead"
+)
+
+
+class _Traced:
+    """Opaque stand-in for an array value during recording.
+
+    Arithmetic composes freely (the result is again traced); anything
+    that would let a *value* steer control flow or indexing raises.
+    """
+
+    __slots__ = ()
+
+    def __bool__(self):
+        raise ValidationError(_CONTROL_FLOW_MSG.format(what="branch condition"))
+
+    def __index__(self):
+        raise ValidationError(_CONTROL_FLOW_MSG.format(what="subscript"))
+
+    def __int__(self):
+        raise ValidationError(_CONTROL_FLOW_MSG.format(what="int() conversion"))
+
+    def __float__(self):
+        raise ValidationError(
+            _CONTROL_FLOW_MSG.format(what="float() conversion"))
+
+    def __iter__(self):
+        raise ValidationError(_CONTROL_FLOW_MSG.format(what="iteration"))
+
+
+def _traced_binop(*_args, **_kwargs):
+    return _Traced()
+
+
+for _name in (
+    "add", "radd", "sub", "rsub", "mul", "rmul", "truediv", "rtruediv",
+    "floordiv", "rfloordiv", "mod", "rmod", "pow", "rpow", "neg", "pos",
+    "abs", "lt", "le", "gt", "ge", "eq", "ne",
+):
+    setattr(_Traced, f"__{_name}__", _traced_binop)
+
+
+def _scalar_key(name: str, key) -> int:
+    """A recordable subscript: one concrete integer element."""
+    if isinstance(key, _Traced):
+        raise ValidationError(_CONTROL_FLOW_MSG.format(what="subscript"))
+    if isinstance(key, (bool, np.bool_)):
+        raise ValidationError(
+            f"array {name!r} was subscripted with a boolean while being "
+            "trace-recorded; element indices must be integers"
+        )
+    try:
+        k = int(key)
+    except (TypeError, ValueError):
+        raise ValidationError(
+            f"array {name!r} was subscripted with {key!r} while being "
+            "trace-recorded; only scalar integer element accesses are "
+            "recordable"
+        ) from None
+    if k < 0:
+        raise ValidationError(
+            f"array {name!r} was subscripted with the negative index "
+            f"{k} while being trace-recorded; use explicit non-negative "
+            "element indices"
+        )
+    return k
+
+
+class _RecordingArray:
+    """Proxy that logs ``(iteration, element)`` read/write events."""
+
+    __slots__ = ("name", "reads", "writes", "_recorder")
+
+    def __init__(self, name: str, recorder: "_Recorder"):
+        self.name = name
+        self.reads: list[tuple[int, int]] = []
+        self.writes: list[tuple[int, int]] = []
+        self._recorder = recorder
+
+    def __getitem__(self, key):
+        self.reads.append((self._recorder.iteration, _scalar_key(self.name, key)))
+        return _Traced()
+
+    def __setitem__(self, key, value):
+        self.writes.append((self._recorder.iteration, _scalar_key(self.name, key)))
+
+
+class _Namespace:
+    """Attribute- and item-style access to one proxy per array name."""
+
+    def __init__(self, arrays: dict):
+        object.__setattr__(self, "_arrays", arrays)
+
+    def __getattr__(self, name):
+        try:
+            return self._arrays[name]
+        except KeyError:
+            raise ValidationError(
+                f"the loop body accessed an undeclared array {name!r}; "
+                f"declared arrays are: {sorted(self._arrays)}"
+            ) from None
+
+    __getitem__ = __getattr__
+
+
+class _Recorder:
+    __slots__ = ("iteration",)
+
+    def __init__(self):
+        self.iteration = 0
+
+
+class RecordedTrace:
+    """The outcome of one recording pass: descriptors + replay plans."""
+
+    def __init__(self, n: int, reads: dict, writes: dict):
+        self.n = n
+        #: name -> (indptr, indices) ragged element accesses.
+        self.reads = reads
+        self.writes = writes
+        self._writers_index: dict[str, dict] | None = None
+
+    def descriptors(self) -> tuple[tuple[At, ...], tuple[At, ...]]:
+        """``(reads, writes)`` descriptor tuples for a LoopProgram."""
+        return (tuple(At(name, pair) for name, pair in self.reads.items()),
+                tuple(At(name, pair) for name, pair in self.writes.items()))
+
+    def writers_index(self) -> dict[str, dict]:
+        """Per array: element -> sorted writer iterations (cached).
+
+        The trace is immutable, so this is built once and shared by
+        every replay kernel — a data-only rebind never repays the
+        O(write events) pass.
+        """
+        if self._writers_index is None:
+            index: dict[str, dict] = {}
+            for name, (indptr, els) in self.writes.items():
+                counts = np.diff(indptr)
+                its = np.repeat(np.arange(self.n, dtype=np.int64), counts)
+                w: dict[int, list] = {}
+                for it, e in zip(its.tolist(), els.tolist()):
+                    w.setdefault(e, []).append(it)
+                index[name] = {e: sorted(v) for e, v in w.items()}
+            self._writers_index = index
+        return self._writers_index
+
+
+def _pack(n: int, events: list[tuple[int, int]]):
+    """(iteration, element) pairs → ragged (indptr, indices) arrays."""
+    if not events:
+        return (np.zeros(n + 1, dtype=np.int64), np.empty(0, dtype=np.int64))
+    its = np.array([e[0] for e in events], dtype=np.int64)
+    els = np.array([e[1] for e in events], dtype=np.int64)
+    order = np.argsort(its, kind="stable")  # keep in-iteration order
+    indptr = counts_to_indptr(np.bincount(its, minlength=n))
+    return indptr, els[order]
+
+
+def record_trace(n: int, body, array_names) -> RecordedTrace:
+    """Run ``body(i, arrays)`` once per iteration over recording proxies.
+
+    ``body`` receives the iteration number and a namespace whose
+    attributes (or items) are the declared arrays; every scalar element
+    access is logged.  Returns the packed trace.
+    """
+    if n < 0:
+        raise ValidationError("n must be non-negative")
+    recorder = _Recorder()
+    proxies = {name: _RecordingArray(name, recorder) for name in array_names}
+    ns = _Namespace(proxies)
+    for i in range(int(n)):
+        recorder.iteration = i
+        body(i, ns)
+    reads = {name: _pack(n, p.reads) for name, p in proxies.items() if p.reads}
+    writes = {name: _pack(n, p.writes) for name, p in proxies.items() if p.writes}
+    return RecordedTrace(int(n), reads, writes)
+
+
+# ----------------------------------------------------------------------
+# Replay
+# ----------------------------------------------------------------------
+
+class _ReplayArray:
+    """Execution-time proxy with Figure 4 renaming.
+
+    Reads whose most recent writer is an *earlier* iteration see the
+    live array; reads whose element is first written by this or a later
+    iteration see the original snapshot (``xold``).  Writes always land
+    in the live array.
+    """
+
+    __slots__ = ("live", "orig", "_writers", "_kernel", "_now")
+
+    def __init__(self, live, orig, writers, kernel):
+        self.live = live
+        self.orig = orig
+        self._writers = writers  # element -> sorted writer iterations
+        self._kernel = kernel
+        #: Elements written by the iteration currently replaying —
+        #: in-iteration reads-after-writes must see them (sequential
+        #: body semantics), whatever the renaming rule says.
+        self._now: set[int] = set()
+
+    def __getitem__(self, key):
+        e = int(key)
+        if self.orig is None or e in self._now:
+            return self.live[e]
+        ws = self._writers.get(e)
+        if ws is not None and ws[0] < self._kernel._current:
+            return self.live[e]
+        return self.orig[e]
+
+    def __setitem__(self, key, value):
+        e = int(key)
+        self.live[e] = value
+        if self.orig is not None:
+            self._now.add(e)
+
+
+class RecordedKernel(LoopKernel):
+    """Replays a recorded body over real arrays, in any legal order.
+
+    The recording pass certified the access pattern is value-independent,
+    so the body performs the same accesses on replay; the renaming
+    proxies then make out-of-order execution reproduce the sequential
+    semantics exactly, the way Figure 4's transformed loop does.
+
+    The replay proxies keep per-iteration state, so recorded kernels
+    run on the ``serial`` and ``sim`` backends (and any executor's
+    batch path); true thread-parallel replay would need per-thread
+    proxies and is not supported — ``thread_safe = False`` makes the
+    ``threads`` backend reject it eagerly instead of racing.
+    """
+
+    #: Concurrent execute_index calls would race on the replay
+    #: proxies' per-iteration state; backends running real threads
+    #: check this flag and refuse.
+    thread_safe = False
+
+    def __init__(self, n: int, body, trace: RecordedTrace, data: dict):
+        self.n = int(n)
+        self._body = body
+        self._trace = trace
+        self._ns = None
+        self._replays: list[_ReplayArray] = []
+        for name in trace.writes:
+            if name not in data:
+                raise ValidationError(
+                    f"recorded program writes array {name!r} but no data "
+                    f"was bound for it; bound entries: {sorted(data)}"
+                )
+        self._data = {k: np.asarray(v) for k, v in data.items()}
+        # element -> sorted writer iterations, per written array; a
+        # read is "live" exactly when the earliest writer precedes the
+        # reading iteration (earlier writers win the renaming
+        # decision).  Cached on the immutable trace, so rebinds that
+        # rebuild the kernel share one index.
+        self._writers = trace.writers_index()
+        self.live: dict[str, np.ndarray] = {}
+        self._current = 0
+
+    def start(self) -> None:
+        self.live = {}
+        arrays = {}
+        self._replays = []
+        for name, arr in self._data.items():
+            if name in self._trace.writes:
+                orig = arr
+                liv = np.array(arr, copy=True)
+                self.live[name] = liv
+                proxy = _ReplayArray(liv, orig, self._writers[name], self)
+                self._replays.append(proxy)
+                arrays[name] = proxy
+            else:
+                arrays[name] = _ReplayArray(arr, None, None, self)
+        self._ns = _Namespace(arrays)
+
+    def execute_index(self, i: int) -> None:
+        self._current = i
+        for proxy in self._replays:
+            proxy._now.clear()
+        self._body(i, self._ns)
+
+    def result(self):
+        if len(self.live) == 1:
+            return next(iter(self.live.values()))
+        return dict(self.live)

@@ -17,6 +17,11 @@ works identically for ``"serial"``, ``"sim"``, ``"threads"`` and
 register with :func:`~repro.runtime.registry.register_backend` without
 touching core.
 
+Backends receive the kernel already resolved: loops compiled from a
+:class:`~repro.program.LoopProgram` carry a pre-bound kernel, which
+the session substitutes when the caller passes none — a backend never
+distinguishes bound from per-call kernels.
+
 Built-in backends
 -----------------
 * ``serial`` — deterministic numeric execution (each executor replays a
@@ -78,8 +83,9 @@ class ExecutionBackend:
     def check_kernel(self, kernel) -> None:
         if self.needs_kernel and kernel is None:
             raise ValidationError(
-                f"backend {self.name!r} executes a kernel; pass one "
-                "(only the 'sim' backend runs kernel-free)"
+                f"backend {self.name!r} executes a kernel; pass one, or "
+                "compile a kernel-bearing LoopProgram so the loop is "
+                "pre-bound (only the 'sim' backend runs kernel-free)"
             )
 
 
@@ -107,12 +113,24 @@ class SimBackend(ExecutionBackend):
 
 @register_backend("threads")
 class ThreadsBackend(ExecutionBackend):
-    """Real threads running the executor's synchronization protocol."""
+    """Real threads running the executor's synchronization protocol.
+
+    Kernels declaring ``thread_safe = False`` (the trace-replay kernel
+    of :class:`~repro.program.RecordedKernel`, whose proxies keep
+    per-iteration state) are rejected eagerly — silently racing on
+    shared kernel state would corrupt numerics without any error.
+    """
 
     name = "threads"
 
     def execute(self, compiled, kernel, *, unit_work=None, timeout=30.0):
         self.check_kernel(kernel)
+        if not getattr(kernel, "thread_safe", True):
+            raise ValidationError(
+                f"kernel {type(kernel).__name__} declares itself not "
+                "thread-safe; run it on the 'serial' backend (or the "
+                "'sim' backend for timing only)"
+            )
         return compiled.executor.run_threaded(kernel, timeout=timeout), None
 
 

@@ -81,6 +81,9 @@ class Registry:
         self._entries: dict[str, object] = {}
         self._metadata: dict[str, dict] = {}
         self._versions: dict[str, int] = {}
+        #: Bumped on every register/unregister — a cheap staleness
+        #: check for anything that memoizes resolved lookups.
+        self.generation = 0
 
     # ------------------------------------------------------------------
     def register(self, name: str, obj=None, /, **metadata):
@@ -99,6 +102,7 @@ class Registry:
             # strategy (the ScheduleCache) treats the shadowing
             # registration as a different strategy.
             self._versions[name] = self._versions.get(name, 0) + 1
+            self.generation += 1
             return value
 
         if obj is None:
@@ -117,6 +121,7 @@ class Registry:
             raise self._unknown(name)
         del self._entries[name]
         del self._metadata[name]
+        self.generation += 1
 
     def _resolve(self, name: str):
         """Resolve a name or ``base:spec`` string to its base entry.

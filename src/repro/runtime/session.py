@@ -22,10 +22,21 @@ Strategy strings (``executor``, ``scheduler``, ``assignment``,
 ``backend``) are resolved through the open registries of
 :mod:`repro.runtime.registry` and validated eagerly — unknown names
 fail at :meth:`compile` time with the valid options enumerated.
+Resolved strategy bundles are memoized per session (keyed on the
+registry generations), so repeated :meth:`compile`/:meth:`run` calls
+with identical specs skip registry parsing entirely and go straight to
+the schedule-cache key.
 ``Runtime.compile(deps, strategy="auto")`` delegates the whole choice
 to the :mod:`repro.tuning` subsystem: a seeded simulator-pruned search
 over the registered strategy space whose verdicts are cached in a
 persistent :class:`~repro.tuning.TuningStore`.
+
+Both :meth:`Runtime.compile` and :meth:`Runtime.run` accept a
+:class:`~repro.program.LoopProgram` anywhere they accept raw
+dependence data; compiling a program returns a
+:class:`~repro.program.BoundLoop` with the program's kernel already
+attached (``loop()`` executes it, ``loop.rebind(...)`` swaps data
+without re-inspection).
 """
 
 from __future__ import annotations
@@ -35,7 +46,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..core.schedule import BALANCE_OPTIONS
 from ..errors import ValidationError
 from ..machine.costs import MachineCosts, MULTIMAX_320
 from ..machine.simulator import SimResult
@@ -51,6 +61,25 @@ from .registry import (
 )
 
 __all__ = ["Runtime", "CompiledLoop", "RunReport"]
+
+
+@dataclass(frozen=True)
+class _ResolvedStrategy:
+    """What registry resolution derived from one strategy bundle.
+
+    Memoized per session (keyed on the raw spec strings, which are
+    therefore not repeated here) so repeated compiles — and every
+    :meth:`Runtime.run` call — with identical specs pay for registry
+    parsing, metadata lookups and fingerprinting exactly once.
+    """
+
+    #: The scheduler after the executor's ``scheduler_override``
+    #: (doacross→identity).
+    resolved_scheduler: str
+    #: Whether ``balance`` enters the schedule-cache key.
+    consumes_balance: bool
+    #: Registry fingerprints folded into the cache key.
+    versions: tuple
 
 
 @dataclass
@@ -105,17 +134,24 @@ class CompiledLoop:
 
     Produced by :meth:`Runtime.compile`; call it with a kernel to
     execute (``loop(kernel)``), optionally overriding the session's
-    backend per call (``loop(kernel, backend="processes")``).
+    backend per call (``loop(kernel, backend="processes")``).  Loops
+    compiled from a :class:`~repro.program.LoopProgram` carry a
+    pre-bound kernel, so ``loop()`` alone executes.
     """
 
     def __init__(self, runtime: "Runtime", inspection, *, executor_name: str,
                  scheduler_name: str, assignment: str, executor,
-                 cache_hit: bool, compile_count: int, verdict=None):
+                 cache_hit: bool, compile_count: int, verdict=None,
+                 balance: str = "wrapped", bound_kernel=None):
         self.runtime = runtime
         self.inspection = inspection
         self.executor_name = executor_name
         self.scheduler_name = scheduler_name
         self.assignment = assignment
+        self.balance = balance
+        #: Kernel attached at compile time (``LoopProgram`` compiles);
+        #: ``loop()`` with no kernel argument executes it.
+        self.bound_kernel = bound_kernel
         #: The executor object (self-executing / pre-scheduled / …).
         self.executor = executor
         #: Whether this compile was served from the ScheduleCache.
@@ -156,6 +192,8 @@ class CompiledLoop:
                  timeout: float = 30.0, with_sim: bool = True) -> RunReport:
         """Execute ``kernel`` on a backend; returns a :class:`RunReport`.
 
+        ``kernel=None`` executes the pre-bound kernel of a
+        program-compiled loop (explicit kernels always win).
         ``with_sim=False`` skips the machine-model timing on execution
         backends (``report.sim`` is ``None``) — use it when only the
         numbers matter.  ``host_seconds`` always measures the backend
@@ -163,6 +201,8 @@ class CompiledLoop:
         the default (``unit_work=None``) simulation is memoized per
         compiled loop.
         """
+        if kernel is None:
+            kernel = self.bound_kernel
         name = backend if backend is not None else self.runtime.backend
         backend_obj = backend_registry.get(name)()
         sw = Stopwatch().start()
@@ -307,6 +347,70 @@ class Runtime:
         self._compile_counts_max = (
             4 * self.cache.maxsize if self.cache is not None else 128
         )
+        # Resolved strategy bundles, keyed on the raw spec strings plus
+        # the registry generations (so shadowing a name invalidates).
+        self._strategy_memo: OrderedDict[tuple, _ResolvedStrategy] = OrderedDict()
+
+    # ------------------------------------------------------------------
+    def _resolve_strategy(self, executor: str, scheduler: str,
+                          assignment: str, balance: str) -> _ResolvedStrategy:
+        """Validate and resolve one strategy bundle, memoized.
+
+        All registry work — name validation, spec parsing, metadata
+        lookups, the eager balance/weight-source checks and the cache
+        fingerprints — happens here, once per distinct spec per
+        registry generation; repeated :meth:`compile`/:meth:`run` calls
+        with identical specs go straight to the schedule-cache key.
+        """
+        key = (executor, scheduler, assignment, balance,
+               executor_registry.generation, scheduler_registry.generation,
+               partitioner_registry.generation)
+        resolved = self._strategy_memo.get(key)
+        if resolved is not None:
+            self._strategy_memo.move_to_end(key)
+            return resolved
+        executor_registry.validate(executor)
+        scheduler_registry.validate(scheduler)
+        partitioner_registry.validate(assignment)
+
+        meta = executor_registry.metadata(executor)
+        resolved_scheduler = meta.get("scheduler_override") or scheduler
+        # A scheduler that declares its balance options (``global``'s
+        # ``balance_options`` metadata — plain name or parameterized
+        # spec) gets them validated eagerly; other schedulers
+        # (including user-registered ones) receive ``balance`` verbatim
+        # per the registry contract and may ignore it or define their
+        # own values.  Weight-source spec values are likewise checked
+        # here, before any dependence processing.
+        smeta = scheduler_registry.metadata(resolved_scheduler)
+        options = smeta.get("balance_options")
+        if options is not None and balance not in options:
+            raise ValidationError(
+                f"unknown balance {balance!r}; valid options are: "
+                + ", ".join(repr(b) for b in sorted(options))
+            )
+        weight_source = scheduler_registry.binding(resolved_scheduler).get("weights")
+        if isinstance(weight_source, str):
+            self._inspector.check_weight_source(weight_source)
+        resolved = _ResolvedStrategy(
+            resolved_scheduler=resolved_scheduler,
+            # ``balance`` enters the cache key only when the resolved
+            # scheduler actually consumes it (``consumes_balance``
+            # metadata) — otherwise compiles differing only in an
+            # ignored balance string would cold-inspect identical
+            # structure.  Unregistered metadata defaults to consuming
+            # (conservative).
+            consumes_balance=smeta.get("consumes_balance", True),
+            # Implementation fingerprints: shadowing a strategy name —
+            # here or in a previous run sharing the persistence dir —
+            # must not serve schedules another implementation built.
+            versions=(scheduler_registry.fingerprint(resolved_scheduler),
+                      partitioner_registry.fingerprint(assignment)),
+        )
+        self._strategy_memo[key] = resolved
+        while len(self._strategy_memo) > 256:
+            self._strategy_memo.popitem(last=False)
+        return resolved
 
     # ------------------------------------------------------------------
     def compile(self, deps, *, executor: str = "self",
@@ -317,9 +421,15 @@ class Runtime:
 
         ``deps`` is any dependence source the inspector understands: a
         :class:`~repro.core.dependence.DependenceGraph`, a
-        lower-triangular CSR matrix, or a 1-D/2-D indirection array.
-        All strategy names are validated up front against the
-        registries.
+        lower-triangular CSR matrix, a 1-D/2-D indirection array, or a
+        :class:`~repro.program.LoopProgram` (whose declared access
+        patterns supply the graph).  All strategy names are validated
+        up front against the registries, through the session's
+        strategy memo.
+
+        Compiling a program returns a
+        :class:`~repro.program.BoundLoop` with the program's kernel
+        attached; anything else returns a plain :class:`CompiledLoop`.
 
         ``strategy="auto"`` hands the choice of all four strategy
         strings to the tuner (:meth:`tune`): the session's
@@ -329,6 +439,7 @@ class Runtime:
         ``assignment=``/``balance=`` arguments are ignored under
         ``"auto"``.
         """
+        program = deps if getattr(deps, "__loop_program__", False) else None
         verdict = None
         if strategy is not None:
             if strategy != "auto":
@@ -345,46 +456,14 @@ class Runtime:
             scheduler = verdict.scheduler
             assignment = verdict.assignment
             balance = verdict.balance
-        executor_registry.validate(executor)
-        scheduler_registry.validate(scheduler)
-        partitioner_registry.validate(assignment)
-
-        meta = executor_registry.metadata(executor)
-        resolved_scheduler = meta.get("scheduler_override") or scheduler
-        # ``balance`` is consumed by the built-in global scheduler —
-        # plain name or parameterized spec ("global:weights=…") — so
-        # only there can it be validated eagerly; other schedulers
-        # (including user-registered ones) receive it verbatim per the
-        # registry contract and may ignore it or define their own
-        # values.  Weight-source spec values are likewise checked here,
-        # before any dependence processing.
-        if (resolved_scheduler.partition(":")[0] == "global"
-                and balance not in BALANCE_OPTIONS):
-            raise ValidationError(
-                f"unknown balance {balance!r}; valid options are: "
-                + ", ".join(repr(b) for b in BALANCE_OPTIONS)
-            )
-        weight_source = scheduler_registry.binding(resolved_scheduler).get("weights")
-        if isinstance(weight_source, str):
-            self._inspector.check_weight_source(weight_source)
+        resolved = self._resolve_strategy(executor, scheduler,
+                                          assignment, balance)
 
         dep = self._inspector.dependences_of(deps)
-        # ``balance`` enters the cache key only when the resolved
-        # scheduler actually consumes it (``consumes_balance``
-        # metadata) — otherwise compiles differing only in an ignored
-        # balance string would cold-inspect identical structure.
-        # Unregistered metadata defaults to consuming (conservative).
-        consumes_balance = scheduler_registry.metadata(resolved_scheduler).get(
-            "consumes_balance", True
-        )
         key = ScheduleCache.key_for(
-            dep, self.nproc, resolved_scheduler, assignment,
-            balance if consumes_balance else "", self.costs,
-            # Implementation fingerprints: shadowing a strategy name —
-            # here or in a previous run sharing the persistence dir —
-            # must not serve schedules another implementation built.
-            versions=(scheduler_registry.fingerprint(resolved_scheduler),
-                      partitioner_registry.fingerprint(assignment)),
+            dep, self.nproc, resolved.resolved_scheduler, assignment,
+            balance if resolved.consumes_balance else "", self.costs,
+            versions=resolved.versions,
         )
         inspection = None
         if self.cache is not None:
@@ -392,7 +471,7 @@ class Runtime:
         cache_hit = inspection is not None
         if inspection is None:
             inspection = self._inspector.inspect(
-                dep, self.nproc, strategy=resolved_scheduler,
+                dep, self.nproc, strategy=resolved.resolved_scheduler,
                 assignment=assignment, balance=balance,
             )
             if self.cache is not None:
@@ -405,14 +484,19 @@ class Runtime:
         executor_obj = executor_registry.get(executor)(
             inspection, self.nproc, self.costs,
         )
-        return CompiledLoop(
-            self, inspection,
+        common = dict(
             executor_name=executor, scheduler_name=scheduler,
-            assignment=assignment, executor=executor_obj,
+            assignment=assignment, balance=balance, executor=executor_obj,
             cache_hit=cache_hit,
             compile_count=self._compile_counts[key],
             verdict=verdict,
         )
+        if program is None:
+            return CompiledLoop(self, inspection, **common)
+        from ..program.binding import BoundLoop  # deferred: import cycle
+
+        return BoundLoop(self, inspection, program=program,
+                         bound_kernel=program.make_kernel(), **common)
 
     # ------------------------------------------------------------------
     def tune(self, deps, *, kernel=None, backend: str | None = None):
@@ -438,18 +522,25 @@ class Runtime:
             **compile_options) -> RunReport:
         """One-shot convenience: compile (cached) and execute.
 
-        ``deps`` defaults to the kernel's own
-        ``dependence_graph()`` when it provides one (the library
-        kernels all do).
+        Accepts a :class:`~repro.program.LoopProgram` in place of the
+        kernel (``rt.run(program)``) — the program supplies both the
+        dependence data and the kernel.  Otherwise ``deps`` defaults to
+        the kernel's own ``dependence_graph()`` when it provides one
+        (the library kernels all do).  Repeated calls with identical
+        strategy specs hit the session's strategy memo and schedule
+        cache — no registry re-parsing, no re-inspection.
         """
         if deps is None:
-            graph_of = getattr(kernel, "dependence_graph", None)
-            if graph_of is None:
-                raise ValidationError(
-                    "deps is required: the kernel does not expose a "
-                    "dependence_graph() method"
-                )
-            deps = graph_of()
+            if getattr(kernel, "__loop_program__", False):
+                kernel, deps = None, kernel
+            else:
+                graph_of = getattr(kernel, "dependence_graph", None)
+                if graph_of is None:
+                    raise ValidationError(
+                        "deps is required: the kernel does not expose a "
+                        "dependence_graph() method (or pass a LoopProgram)"
+                    )
+                deps = graph_of()
         loop = self.compile(deps, **compile_options)
         return loop(kernel, backend=backend, unit_work=unit_work,
                     timeout=timeout)

@@ -195,16 +195,20 @@ class LevelScheduledSolver:
             raise StructureError("triangular solve requires a nonzero diagonal")
         self.diag = d
 
-        # --- inspector: wavefront numbers via the Figure 7 sweep -------
-        wf = np.zeros(n, dtype=np.int64)
-        indptr, indices = t.indptr, t.indices
-        order = range(n) if lower else range(n - 1, -1, -1)
-        for i in order:
-            lo, hi = indptr[i], indptr[i + 1]
-            deps = indices[lo:hi]
-            deps = deps[deps < i] if lower else deps[deps > i]
-            if deps.size:
-                wf[i] = wf[deps].max() + 1
+        # --- inspector: the shared declarative front end ---------------
+        # The solve *is* the Figure 8 loop program, so its level sets
+        # come from the same extraction + vectorized wavefront sweep
+        # every other workload uses (repro.program), instead of a
+        # hand-rolled per-row Python loop.  Upper solves are extracted
+        # in the library's renumbered convention (iteration k solves
+        # row n-1-k) and mapped back to natural row numbering here.
+        from ..core.wavefront import compute_wavefronts  # deferred: cycle
+        from ..program import LoopProgram  # deferred: import cycle
+
+        program = LoopProgram.from_csr(t, lower=lower)
+        wf = compute_wavefronts(program.dependence_graph())
+        if not lower:
+            wf = wf[::-1].copy()
         self.wavefronts = wf
         self.num_levels = int(wf.max()) + 1 if n else 0
 

@@ -6,16 +6,21 @@ structural pruning the registries' own metadata implies:
 
 * executors with a ``scheduler_override`` (``doacross``) vary only
   their assignment;
-* ``global`` scheduling repartitions, so the initial assignment is
-  irrelevant — it is pinned to ``wrapped`` instead of multiplying the
-  space by every partitioner;
+* schedulers with ``repartitions`` metadata (``global``) rebuild the
+  assignment, so the initial one is irrelevant — it is pinned to
+  ``wrapped`` instead of multiplying the space by every partitioner;
+* schedulers that consume ``balance`` enumerate the options they
+  declare via ``balance_options`` metadata — a new balance-consuming
+  scheduler joins the space simply by declaring its options at
+  registration;
 * ``identity`` scheduling is reached through ``doacross`` (a
   pre-scheduled run of an identity schedule would fail phase
   validation), so it is not crossed with the other executors;
 * parameterized partitioners (``chunked``, ``guided``, ``factored``,
   ``trapezoid``) contribute spec strings with chunk sizes scaled to
-  the workload (``n / nproc``), and the ``global`` scheduler
-  contributes its ``weights=work`` greedy variant.
+  the workload (``n / nproc``), and any scheduler with a ``weights``
+  parameter (``global``) contributes its ``weights=work`` greedy
+  variant.
 
 Strategies registered by third parties show up automatically: unknown
 schedulers are treated like ``local`` (assignment-preserving) and
@@ -139,20 +144,32 @@ def enumerate_space(
                 add(CandidateSpec(executor, override, assignment))
             continue
         for scheduler in schedulers:
-            if scheduler == "global" or scheduler.startswith("global:"):
-                # Global repartitions: the initial assignment is dead
-                # weight, but the balance rule (and weight source) is
-                # the real knob.
-                add(CandidateSpec(executor, scheduler, "wrapped", "wrapped"))
-                add(CandidateSpec(executor, scheduler, "wrapped", "greedy"))
-                if scheduler == "global" and include_weighted_greedy:
-                    add(CandidateSpec(executor, "global:weights=work",
-                                      "wrapped", "greedy"))
-            else:
-                # local and local-like (third-party) schedulers keep
-                # the initial assignment, so every partitioner matters.
-                for assignment in assignments:
-                    add(CandidateSpec(executor, scheduler, assignment))
+            meta = scheduler_registry.metadata(scheduler)
+            repartitions = meta.get("repartitions", False)
+            # A scheduler that consumes ``balance`` enumerates the
+            # options it declared at registration; schedulers that
+            # ignore it (and third-party ones declaring nothing) are
+            # searched under the default only.
+            balances: tuple[str, ...] = ()
+            if meta.get("consumes_balance", True):
+                balances = tuple(meta.get("balance_options") or ())
+            balances = balances or ("wrapped",)
+            # A repartitioning scheduler makes the initial assignment
+            # dead weight — the balance rule (and weight source) is the
+            # real knob; assignment-preserving schedulers cross every
+            # partitioner instead.
+            for assignment in ("wrapped",) if repartitions else assignments:
+                for balance in balances:
+                    add(CandidateSpec(executor, scheduler, assignment, balance))
+            if (include_weighted_greedy and ":" not in scheduler
+                    and "weights" in (meta.get("params") or {})):
+                # Weighted greedy only makes sense under a balance the
+                # scheduler actually accepts; fall back to its first
+                # declared option (never emit a candidate that would
+                # fail the eager balance validation).
+                bal = "greedy" if "greedy" in balances else balances[0]
+                add(CandidateSpec(executor, f"{scheduler}:weights=work",
+                                  "wrapped", bal))
     return out
 
 
