@@ -115,11 +115,11 @@ def test_figure8_sweep_speedup(save_table):
 
 
 def test_successors_speedup(save_table):
-    """Reversed-edge CSR: composite-key argsort vs per-edge fill loop."""
+    """Reversed-edge CSR: packed (target, row) value sort vs fill loop."""
     table = TextTable(
         headers=["n", "edges", "reference ms", "vectorized ms", "speedup"],
         formats=["d", "d", ".1f", ".1f", ".1f"],
-        title="Successor-CSR construction: per-edge loop vs argsort",
+        title="Successor-CSR construction: per-edge loop vs pack-sort",
     )
     for n in SIZES[:-1]:  # the 10^6 per-edge loop alone takes minutes
         dep = _figure8_graph(n)

@@ -19,7 +19,7 @@ import numpy as np
 
 from ..errors import StructureError
 from ..sparse.csr import CSRMatrix
-from ..util.frontier import counts_to_indptr, frontier_sweep
+from ..util.frontier import counts_to_indptr, frontier_sweep, rows_from_indptr
 from ..util.validation import as_int_array, check_index_array, check_positive
 
 __all__ = ["DependenceGraph"]
@@ -40,7 +40,8 @@ class DependenceGraph:
         all point backwards, which is also verified).
     """
 
-    __slots__ = ("indptr", "indices", "n", "_succ_indptr", "_succ_indices")
+    __slots__ = ("indptr", "indices", "n", "_succ_indptr", "_succ_indices",
+                 "_edge_rows", "_all_backward")
 
     def __init__(self, indptr, indices, n: int, *, check_acyclic: bool = True):
         self.n = check_positive(n, "n") if n else 0
@@ -56,6 +57,8 @@ class DependenceGraph:
             raise StructureError("indices length must equal indptr[-1]")
         self._succ_indptr: np.ndarray | None = None
         self._succ_indices: np.ndarray | None = None
+        self._edge_rows: np.ndarray | None = None
+        self._all_backward: bool | None = None
         if check_acyclic and not self.all_backward():
             self._check_dag()
 
@@ -182,39 +185,72 @@ class DependenceGraph:
         """In-degree (number of dependences) of each index."""
         return np.diff(self.indptr)
 
+    def edge_rows(self) -> np.ndarray:
+        """Row (dependent index) of every edge, in edge order (cached).
+
+        The ragged counterpart of ``indices``: ``edge_rows()[k]`` is the
+        iteration whose dependence list contains edge ``k``.  Non-
+        decreasing by construction.  Built once and shared by
+        :meth:`all_backward`, :meth:`successors`, the simulator's
+        schedule-shape checks and the tuner's prefix slicing.
+        """
+        if self._edge_rows is None:
+            self._edge_rows = rows_from_indptr(self.indptr)
+        return self._edge_rows
+
     def all_backward(self) -> bool:
-        """True when every dependence points to a smaller index.
+        """True when every dependence points to a smaller index (memoized).
 
         Such graphs are trivially acyclic — the start-time schedulable
-        case the paper restricts itself to.
+        case the paper restricts itself to.  Only the boolean is
+        cached: the constructor's acyclicity check calls this on every
+        graph, and pinning an edge-sized row array for graphs that are
+        merely validated would defeat the memory economy of
+        :meth:`successors`.  The row tags are therefore taken from the
+        :meth:`edge_rows` cache when a consumer has already built it,
+        and recomputed transiently otherwise.
         """
-        if self.num_edges == 0:
-            return True
-        rows = np.repeat(np.arange(self.n, dtype=np.int64), self.dep_counts())
-        return bool(np.all(self.indices < rows))
+        if self._all_backward is None:
+            if self.num_edges == 0:
+                self._all_backward = True
+            else:
+                rows = self._edge_rows
+                if rows is None:
+                    rows = rows_from_indptr(self.indptr)
+                self._all_backward = bool(np.all(self.indices < rows))
+        return self._all_backward
 
     def successors(self) -> tuple[np.ndarray, np.ndarray]:
         """CSR of the reversed edges: who depends on me (cached).
 
-        Built with one stable ``argsort`` over the edge list — O(e log e)
-        numpy work instead of a Python-level visit per edge; the stable
-        sort reproduces the per-edge fill order of
-        :func:`repro.core.reference.successors` exactly.
+        The successor list of target ``t`` is exactly the edge rows with
+        ``indices[k] == t``, in ascending row order (``edge_rows()`` is
+        non-decreasing, so a stable grouping by target keeps rows
+        sorted).  Because only the *values* are needed — equal
+        ``(target, row)`` duplicates are interchangeable — the grouping
+        is one in-place ``sort`` of packed ``(target << shift) | row``
+        keys: no composite-key temporary and no argsort permutation
+        array, which cuts both time (~4× at 10^7 edges) and peak memory
+        (~3× fewer edge-sized temporaries) against the previous
+        composite-key argsort.  The packed path needs
+        ``2 * bit_length(n-1) <= 63``; graphs beyond 2^31 indices fall
+        back to a stable argsort.  Either way the per-edge fill order of
+        :func:`repro.core.reference.successors` is reproduced exactly.
         """
         if self._succ_indptr is None:
-            e = self.num_edges
             indptr = counts_to_indptr(np.bincount(self.indices, minlength=self.n))
-            rows = np.repeat(np.arange(self.n, dtype=np.int64), self.dep_counts())
-            if e and self.n * e < 2**62:
-                # Unique composite keys (target, edge position) let the
-                # default introsort stand in for a stable sort — ~3×
-                # faster than mergesort on int64 at 10^6 edges.
-                order = np.argsort(
-                    self.indices * e + np.arange(e, dtype=np.int64)
-                )
-            else:
-                order = np.argsort(self.indices, kind="stable")
-            succ = rows[order]
+            rows = self.edge_rows()
+            shift = int(self.n - 1).bit_length() if self.n > 1 else 1
+            if self.num_edges == 0:
+                succ = np.empty(0, dtype=np.int64)
+            elif 2 * shift <= 63:
+                key = self.indices << np.int64(shift)
+                key |= rows
+                key.sort()
+                key &= np.int64((1 << shift) - 1)
+                succ = key
+            else:  # pragma: no cover - graphs beyond 2^31 indices
+                succ = rows[np.argsort(self.indices, kind="stable")]
             self._succ_indptr, self._succ_indices = indptr, succ
         return self._succ_indptr, self._succ_indices
 

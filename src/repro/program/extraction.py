@@ -32,7 +32,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.dependence import DependenceGraph
-from ..util.frontier import counts_to_indptr
+from ..util.frontier import counts_to_indptr, rows_from_indptr
 from .descriptors import ResolvedAccess
 
 __all__ = ["extract_dependences"]
@@ -46,8 +46,7 @@ def _event_arrays(n: int, accesses: list[ResolvedAccess]):
             its.append(np.arange(n, dtype=np.int64))
             els.append(np.arange(n, dtype=np.int64))
         else:
-            counts = np.diff(acc.indptr)
-            its.append(np.repeat(np.arange(n, dtype=np.int64), counts))
+            its.append(rows_from_indptr(acc.indptr))
             els.append(acc.indices.astype(np.int64, copy=False))
     if not its:
         empty = np.empty(0, dtype=np.int64)

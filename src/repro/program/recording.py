@@ -28,7 +28,7 @@ import numpy as np
 
 from ..core.executor import LoopKernel
 from ..errors import ValidationError
-from ..util.frontier import counts_to_indptr
+from ..util.frontier import counts_to_indptr, rows_from_indptr
 from .descriptors import At
 
 __all__ = ["record_trace", "RecordedKernel", "RecordedTrace"]
@@ -176,8 +176,7 @@ class RecordedTrace:
         if self._writers_index is None:
             index: dict[str, dict] = {}
             for name, (indptr, els) in self.writes.items():
-                counts = np.diff(indptr)
-                its = np.repeat(np.arange(self.n, dtype=np.int64), counts)
+                its = rows_from_indptr(indptr)
                 w: dict[int, list] = {}
                 for it, e in zip(its.tolist(), els.tolist()):
                     w.setdefault(e, []).append(it)

@@ -62,8 +62,9 @@ def prefix_graph(dep: DependenceGraph, m: int) -> DependenceGraph:
     if dep.all_backward():
         return DependenceGraph(dep.indptr[: m + 1], indices, m,
                                check_acyclic=False)
-    rows = np.repeat(np.arange(m, dtype=np.int64),
-                     np.diff(dep.indptr[: m + 1]))
+    # The first m rows own exactly the first `end` edges, so their row
+    # tags are a prefix of the graph's cached edge_rows().
+    rows = dep.edge_rows()[:end]
     keep = indices < m
     indptr = counts_to_indptr(np.bincount(rows[keep], minlength=m))
     return DependenceGraph(indptr, indices[keep], m, check_acyclic=False)

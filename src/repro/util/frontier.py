@@ -23,7 +23,13 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["counts_to_indptr", "expand_csr_ranges", "frontier_sweep"]
+__all__ = [
+    "counts_to_indptr",
+    "expand_csr_ranges",
+    "frontier_sweep",
+    "rows_from_indptr",
+    "segment_max",
+]
 
 
 def counts_to_indptr(counts: np.ndarray) -> np.ndarray:
@@ -31,6 +37,45 @@ def counts_to_indptr(counts: np.ndarray) -> np.ndarray:
     indptr = np.zeros(counts.shape[0] + 1, dtype=np.int64)
     np.cumsum(counts, out=indptr[1:])
     return indptr
+
+
+def rows_from_indptr(indptr: np.ndarray) -> np.ndarray:
+    """Row tag of every CSR entry: ``rows[k] = r`` for ``indptr[r] <= k <
+    indptr[r+1]`` — the ragged equivalent of a meshgrid row index."""
+    return np.repeat(
+        np.arange(indptr.shape[0] - 1, dtype=np.int64), np.diff(indptr)
+    )
+
+
+def segment_max(
+    values: np.ndarray,
+    indptr: np.ndarray,
+    *,
+    empty: float = 0.0,
+) -> np.ndarray:
+    """Per-segment maximum: ``out[k] = max(values[indptr[k]:indptr[k+1]])``.
+
+    ``values`` must cover exactly ``indptr[-1]`` entries.  Empty
+    segments yield ``empty``.  One ``np.maximum.reduceat`` over the
+    non-empty segments — their start offsets are strictly increasing
+    and consecutive in ``values`` (empty segments contribute nothing),
+    which is precisely the layout ``reduceat`` reduces correctly.
+
+    Shared by the batched machine simulator (per-level operand-finish
+    maxima over gathered dependence slices), ``simulate_prescheduled``
+    (per-phase processor-work maxima) and any future batched replay.
+    """
+    indptr = np.asarray(indptr, dtype=np.int64)
+    nseg = indptr.shape[0] - 1
+    counts = np.diff(indptr)
+    out = np.full(nseg, empty, dtype=np.float64)
+    if values.size:
+        nonempty = counts > 0
+        if nonempty.all():
+            out[:] = np.maximum.reduceat(values, indptr[:-1])
+        elif nonempty.any():
+            out[nonempty] = np.maximum.reduceat(values, indptr[:-1][nonempty])
+    return out
 
 
 def expand_csr_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:

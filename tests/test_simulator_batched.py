@@ -1,0 +1,420 @@
+"""Batched simulator ≡ scalar oracle — exact-equality property tests.
+
+The wavefront-batched engine (PR 5) must reproduce the per-iteration
+event loop *bit for bit*: ``total_time``, ``busy``, ``idle`` and
+``finish`` are compared with exact float equality (no tolerances)
+against :func:`repro.core.reference.simulate_self_executing` across
+randomized backward/general graphs, schedules, processor counts, poll
+quanta and modes — mirroring the PR 2 inspector-oracle pattern.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import reference
+from repro.core.dependence import DependenceGraph
+from repro.core.schedule import (
+    global_schedule,
+    identity_schedule,
+    local_schedule,
+)
+from repro.core.wavefront import compute_wavefronts, compute_wavefronts_general
+from repro.errors import DeadlockError, ValidationError
+from repro.machine.costs import MULTIMAX_320, MachineCosts
+from repro.machine import simulator
+from repro.machine.simulator import simulate_self_executing
+from repro.util.frontier import rows_from_indptr, segment_max
+
+ENGINES = ("batched", "scalar")
+
+
+def _poll_costs(t_poll: float) -> MachineCosts:
+    return MachineCosts(
+        t_work_base=1.0, t_work_per_dep=0.5, t_sync_base=0.0,
+        t_sync_per_proc=0.0, t_check=0.25, t_inc=0.125,
+        t_sched_access=0.375, t_poll=t_poll, contention_alpha=0.01,
+    )
+
+
+def assert_bit_identical(a, b):
+    """Exact float equality on every timing field (no tolerances)."""
+    assert a.total_time == b.total_time
+    assert np.array_equal(a.busy, b.busy)
+    assert np.array_equal(a.idle, b.idle)
+    if a.finish is None or b.finish is None:
+        assert a.finish is None and b.finish is None
+    else:
+        assert np.array_equal(a.finish, b.finish)
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+@st.composite
+def backward_dags(draw, max_n=50):
+    """A random backward-only dependence graph (duplicates allowed)."""
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    edges = []
+    for i in range(1, n):
+        k = draw(st.integers(min_value=0, max_value=min(i, 3)))
+        if k:
+            deps = draw(
+                st.lists(st.integers(min_value=0, max_value=i - 1),
+                         min_size=k, max_size=k)
+            )
+            edges.extend((i, j) for j in deps)
+    return DependenceGraph.from_edges(edges, n)
+
+
+@st.composite
+def general_dags(draw, max_n=40):
+    """A random general DAG: a backward DAG under a random renumbering."""
+    dep = draw(backward_dags(max_n=max_n))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    perm = np.random.default_rng(seed).permutation(dep.n)
+    rows = perm[dep.edge_rows()]
+    cols = perm[dep.indices]
+    return DependenceGraph.from_edges(
+        np.stack([rows, cols], axis=1) if rows.size else [], dep.n
+    )
+
+
+def _schedule_for(draw, dep, kind, nproc):
+    wf = (compute_wavefronts(dep) if dep.all_backward()
+          else compute_wavefronts_general(dep))
+    if kind == "global":
+        return global_schedule(wf, nproc)
+    if kind == "local":
+        owner = np.random.default_rng(
+            draw(st.integers(min_value=0, max_value=2**31 - 1))
+        ).integers(0, nproc, dep.n)
+        return local_schedule(wf, owner, nproc)
+    return identity_schedule(wf, nproc)
+
+
+sched_kinds = st.sampled_from(["global", "local", "identity"])
+procs = st.integers(min_value=1, max_value=8)
+polls = st.sampled_from([0.0, 0.7, 3.0])
+modes = st.sampled_from(["self", "doacross"])
+
+
+# ----------------------------------------------------------------------
+# Engine ≡ oracle properties
+# ----------------------------------------------------------------------
+
+class TestEnginesMatchOracle:
+    @given(backward_dags(), sched_kinds, procs, polls, modes, st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_backward_graphs(self, dep, kind, p, t_poll, mode, data):
+        sched = _schedule_for(data.draw, dep, kind, p)
+        costs = _poll_costs(t_poll)
+        ref = reference.simulate_self_executing(
+            sched, dep, costs, mode=mode, keep_finish_times=True)
+        for engine in ENGINES:
+            sim = simulate_self_executing(
+                sched, dep, costs, mode=mode, keep_finish_times=True,
+                engine=engine)
+            assert_bit_identical(sim, ref)
+        auto = simulate_self_executing(
+            sched, dep, costs, mode=mode, keep_finish_times=True)
+        assert_bit_identical(auto, ref)
+
+    @given(general_dags(), sched_kinds, procs, polls, st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_general_graphs(self, dep, kind, p, t_poll, data):
+        sched = _schedule_for(data.draw, dep, kind, p)
+        costs = _poll_costs(t_poll)
+        try:
+            ref = reference.simulate_self_executing(
+                sched, dep, costs, keep_finish_times=True)
+        except DeadlockError:
+            # identity lists over a renumbered DAG can order an index
+            # before its dependence on the same processor; every engine
+            # must agree it deadlocks.
+            for engine in ENGINES:
+                with pytest.raises(DeadlockError):
+                    simulate_self_executing(sched, dep, costs, engine=engine)
+            return
+        for engine in ENGINES:
+            sim = simulate_self_executing(
+                sched, dep, costs, keep_finish_times=True, engine=engine)
+            assert_bit_identical(sim, ref)
+
+    @given(backward_dags(max_n=30), procs, st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_random_unit_work(self, dep, p, data):
+        """Arbitrary (even negative) work vectors stay bit-identical."""
+        seed = data.draw(st.integers(min_value=0, max_value=2**31 - 1))
+        w = np.random.default_rng(seed).uniform(-2.0, 5.0, dep.n)
+        sched = global_schedule(compute_wavefronts(dep), p)
+        ref = reference.simulate_self_executing(
+            sched, dep, MULTIMAX_320, unit_work=w, keep_finish_times=True)
+        for engine in ENGINES:
+            sim = simulate_self_executing(
+                sched, dep, MULTIMAX_320, unit_work=w,
+                keep_finish_times=True, engine=engine)
+            assert_bit_identical(sim, ref)
+        auto = simulate_self_executing(
+            sched, dep, MULTIMAX_320, unit_work=w, keep_finish_times=True)
+        assert_bit_identical(auto, ref)
+
+
+class TestVectorLevelBody:
+    """Force every level through the vectorized body (``SCALAR_LEVEL``
+    pinned to 0, so the scalar run fallback never absorbs a level) —
+    without this the width-≤-nproc levels of small property cases would
+    all take the scalar path and never prove the numpy branch."""
+
+    @given(backward_dags(), sched_kinds, procs, polls, modes, st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_vector_body_matches_oracle(self, dep, kind, p, t_poll, mode,
+                                        data):
+        sched = _schedule_for(data.draw, dep, kind, p)
+        costs = _poll_costs(t_poll)
+        ref = reference.simulate_self_executing(
+            sched, dep, costs, mode=mode, keep_finish_times=True)
+        saved = simulator.SCALAR_LEVEL
+        simulator.SCALAR_LEVEL = 0
+        try:
+            sim = simulate_self_executing(
+                sched, dep, costs, mode=mode, keep_finish_times=True,
+                engine="batched")
+        finally:
+            simulator.SCALAR_LEVEL = saved
+        assert_bit_identical(sim, ref)
+
+    def test_wide_machine_levels(self):
+        """nproc above SCALAR_LEVEL: genuinely wide levels, no pin."""
+        rng = np.random.default_rng(42)
+        n, p = 4000, 64
+        dep = DependenceGraph.from_indirection(rng.integers(0, n, n))
+        wf = compute_wavefronts(dep)
+        for sched in (global_schedule(wf, p), identity_schedule(wf, p)):
+            for t_poll in (0.0, 0.7):
+                costs = _poll_costs(t_poll)
+                ref = reference.simulate_self_executing(
+                    sched, dep, costs, keep_finish_times=True)
+                sim = simulate_self_executing(
+                    sched, dep, costs, keep_finish_times=True,
+                    engine="batched")
+                assert_bit_identical(sim, ref)
+                auto = simulate_self_executing(
+                    sched, dep, costs, keep_finish_times=True)
+                assert_bit_identical(auto, ref)
+
+
+class TestLevelPlans:
+    @given(backward_dags(), sched_kinds, procs, st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_level_plan_invariants(self, dep, kind, p, data):
+        """Levels: a permutation, ≤ 1 index per processor per level,
+        every program-order/dependence predecessor in an earlier one."""
+        sched = _schedule_for(data.draw, dep, kind, p)
+        plan = simulator._fast_levels(sched, dep)
+        if plan is None:
+            plan = simulator._toposort_levels(sched, dep)
+        order, bounds = plan
+        n = dep.n
+        assert bounds[0] == 0 and bounds[-1] == n
+        assert np.array_equal(np.sort(order), np.arange(n))
+        level_of = np.empty(n, dtype=np.int64)
+        for k in range(bounds.shape[0] - 1):
+            nodes = order[bounds[k]:bounds[k + 1]]
+            level_of[nodes] = k
+            owners = sched.owner[nodes]
+            assert np.unique(owners).size == owners.size
+        for lst in sched.local_order:
+            if lst.size > 1:
+                assert np.all(np.diff(level_of[lst]) > 0)
+        if dep.num_edges:
+            assert np.all(level_of[dep.indices] < level_of[dep.edge_rows()])
+
+    @given(backward_dags(), procs)
+    @settings(max_examples=25, deadline=None)
+    def test_fast_levels_match_combined(self, dep, p):
+        """Both planners drive the batched engine to identical results."""
+        sched = global_schedule(compute_wavefronts(dep), p)
+        fast = simulator._fast_levels(sched, dep)
+        assert fast is not None  # global schedules are wavefront-sorted
+        combined = simulator._toposort_levels(sched, dep)
+        costs = _poll_costs(0.7)
+        w = simulator.work_vector(dep, costs, "self", p)
+        out = [
+            simulator._run_batched(sched, dep, w, costs.t_poll, plan=pl)
+            for pl in (fast, combined)
+        ]
+        for a, b in zip(*out):
+            assert np.array_equal(a, b)
+
+
+# ----------------------------------------------------------------------
+# Edge cases the batched path must preserve
+# ----------------------------------------------------------------------
+
+class TestEdgeCases:
+    def _diamond(self):
+        dep = DependenceGraph.from_edges([(1, 0), (2, 0), (3, 1), (3, 2)], 4)
+        return dep, compute_wavefronts(dep)
+
+    def test_poll_zero_vs_quantized(self):
+        dep, wf = self._diamond()
+        sched = global_schedule(wf, 2)
+        exact = _poll_costs(0.0)
+        quant = _poll_costs(0.7)
+        for costs in (exact, quant):
+            ref = reference.simulate_self_executing(sched, dep, costs)
+            for engine in ENGINES:
+                sim = simulate_self_executing(sched, dep, costs, engine=engine)
+                assert_bit_identical(sim, ref)
+        # the quantum can only lengthen busy-waits
+        t_exact = simulate_self_executing(sched, dep, exact).total_time
+        t_quant = simulate_self_executing(sched, dep, quant).total_time
+        assert t_quant >= t_exact
+
+    def test_empty_graph(self):
+        dep = DependenceGraph(np.zeros(1, dtype=np.int64),
+                              np.empty(0, dtype=np.int64), 0)
+        wf = np.empty(0, dtype=np.int64)
+        for p in (1, 3):
+            sched = identity_schedule(wf, p)
+            for engine in (None, *ENGINES):
+                sim = simulate_self_executing(
+                    sched, dep, MULTIMAX_320, keep_finish_times=True,
+                    engine=engine)
+                assert sim.total_time == 0.0
+                assert sim.finish.shape == (0,)
+                assert np.array_equal(sim.busy, np.zeros(p))
+                assert np.array_equal(sim.idle, np.zeros(p))
+
+    def test_edgeless_graph(self):
+        dep = DependenceGraph(np.zeros(6, dtype=np.int64),
+                              np.empty(0, dtype=np.int64), 5)
+        sched = identity_schedule(np.zeros(5, dtype=np.int64), 2)
+        ref = reference.simulate_self_executing(
+            sched, dep, MULTIMAX_320, keep_finish_times=True)
+        for engine in (None, *ENGINES):
+            sim = simulate_self_executing(
+                sched, dep, MULTIMAX_320, keep_finish_times=True,
+                engine=engine)
+            assert_bit_identical(sim, ref)
+
+    def test_single_processor_closed_form(self, small_lower_dep):
+        """p=1 'auto' takes the cumulative-sum path — still bit-exact."""
+        wf = compute_wavefronts(small_lower_dep)
+        sched = global_schedule(wf, 1)
+        ref = reference.simulate_self_executing(
+            sched, small_lower_dep, MULTIMAX_320, keep_finish_times=True)
+        auto = simulate_self_executing(
+            sched, small_lower_dep, MULTIMAX_320, keep_finish_times=True)
+        assert_bit_identical(auto, ref)
+        assert auto.total_idle == 0.0
+        for engine in ENGINES:
+            sim = simulate_self_executing(
+                sched, small_lower_dep, MULTIMAX_320, keep_finish_times=True,
+                engine=engine)
+            assert_bit_identical(sim, ref)
+
+    def test_single_processor_negative_work(self, small_lower_dep):
+        """Negative work defeats the no-wait argument; 'auto' must not
+        take the closed form, and all engines still agree exactly."""
+        wf = compute_wavefronts(small_lower_dep)
+        sched = global_schedule(wf, 1)
+        w = np.where(np.arange(small_lower_dep.n) % 3 == 0, -1.0, 2.0)
+        ref = reference.simulate_self_executing(
+            sched, small_lower_dep, MULTIMAX_320, unit_work=w,
+            keep_finish_times=True)
+        for engine in (None, *ENGINES):
+            sim = simulate_self_executing(
+                sched, small_lower_dep, MULTIMAX_320, unit_work=w,
+                keep_finish_times=True, engine=engine)
+            assert_bit_identical(sim, ref)
+
+    def test_keep_finish_times_flag(self):
+        dep, wf = self._diamond()
+        sched = global_schedule(wf, 2)
+        for engine in (None, *ENGINES):
+            assert simulate_self_executing(
+                sched, dep, MULTIMAX_320, engine=engine).finish is None
+            kept = simulate_self_executing(
+                sched, dep, MULTIMAX_320, keep_finish_times=True,
+                engine=engine).finish
+            assert kept is not None and kept.shape == (4,)
+
+    def test_doacross_mode(self):
+        dep, wf = self._diamond()
+        sched = identity_schedule(wf, 2)
+        ref = reference.simulate_self_executing(
+            sched, dep, MULTIMAX_320, mode="doacross", keep_finish_times=True)
+        for engine in (None, *ENGINES):
+            sim = simulate_self_executing(
+                sched, dep, MULTIMAX_320, mode="doacross",
+                keep_finish_times=True, engine=engine)
+            assert sim.mode == "doacross"
+            assert sim.sched_time == 0.0
+            assert_bit_identical(sim, ref)
+
+    def test_deadlock_all_engines(self):
+        dep, wf = self._diamond()
+        sched = identity_schedule(wf, 1)
+        sched.local_order[0] = np.array([3, 0, 1, 2])
+        for engine in (None, *ENGINES):
+            with pytest.raises(DeadlockError):
+                simulate_self_executing(sched, dep, MULTIMAX_320,
+                                        engine=engine)
+
+    def test_unknown_engine_rejected(self):
+        dep, wf = self._diamond()
+        sched = identity_schedule(wf, 2)
+        with pytest.raises(ValidationError):
+            simulate_self_executing(sched, dep, MULTIMAX_320, engine="turbo")
+
+
+# ----------------------------------------------------------------------
+# New helpers: segment_max / rows_from_indptr / edge_rows / successors
+# ----------------------------------------------------------------------
+
+class TestHelpers:
+    def test_segment_max_ragged(self):
+        values = np.array([3.0, 1.0, 4.0, 1.0, 5.0, 9.0])
+        indptr = np.array([0, 2, 2, 5, 6])
+        out = segment_max(values, indptr, empty=-1.0)
+        np.testing.assert_array_equal(out, [3.0, -1.0, 5.0, 9.0])
+
+    def test_segment_max_all_empty(self):
+        out = segment_max(np.empty(0), np.zeros(4, dtype=np.int64), empty=7.0)
+        np.testing.assert_array_equal(out, np.full(3, 7.0))
+
+    def test_segment_max_full(self):
+        values = np.arange(6, dtype=np.float64)
+        out = segment_max(values, np.array([0, 3, 6]))
+        np.testing.assert_array_equal(out, [2.0, 5.0])
+
+    def test_rows_from_indptr(self):
+        indptr = np.array([0, 2, 2, 5])
+        np.testing.assert_array_equal(rows_from_indptr(indptr),
+                                      [0, 0, 2, 2, 2])
+
+    @given(backward_dags())
+    @settings(max_examples=30, deadline=None)
+    def test_edge_rows_cached_and_correct(self, dep):
+        rows = dep.edge_rows()
+        assert rows is dep.edge_rows()  # cached
+        np.testing.assert_array_equal(rows, rows_from_indptr(dep.indptr))
+
+    @given(general_dags())
+    @settings(max_examples=40, deadline=None)
+    def test_successors_pack_sort_matches_reference(self, dep):
+        si, ss = dep.successors()
+        ri, rs = reference.successors(dep)
+        np.testing.assert_array_equal(si, ri)
+        np.testing.assert_array_equal(ss, rs)
+
+    def test_successors_duplicate_edges(self):
+        dep = DependenceGraph.from_edges(
+            [(2, 0), (2, 0), (3, 0), (1, 0), (3, 1)], 4)
+        si, ss = dep.successors()
+        ri, rs = reference.successors(dep)
+        np.testing.assert_array_equal(si, ri)
+        np.testing.assert_array_equal(ss, rs)
