@@ -1,0 +1,160 @@
+"""Benchmark: speculative execution vs the cold inspector/executor.
+
+The acceptance bar for :mod:`repro.speculate`:
+
+* on a sparse-update workload with < 1% conflicting iterations, a cold
+  ``Runtime.compile(prog, strategy="speculative")`` + execution must
+  beat the cold classic pipeline (dependence extraction + wavefront
+  sweep + schedule + execution) end-to-end on the host clock;
+* on a high-conflict workload the adaptive guard must trip, and the
+  fallen-back result must be bitwise identical to the serial oracle;
+* the conflict-rate sweep must show the expected shape — simulated
+  speedup decaying as the serial repair grows, single attempts at zero
+  conflicts, fallback past :data:`~repro.speculate.FALLBACK_THRESHOLD`.
+
+``REPRO_BENCH_SPEC_SCALE`` (a float, default 1.0) scales the problem
+sizes down for smoke runs in CI.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.core.executor import SerialExecutor, SimpleLoopKernel
+from repro.program import LoopProgram
+from repro.runtime import Runtime
+from repro.speculate import FALLBACK_THRESHOLD
+from repro.util.tables import TextTable
+
+SCALE = float(os.environ.get("REPRO_BENCH_SPEC_SCALE", "1.0"))
+NPROC = 8
+SWEEP_N = max(int(40_000 * SCALE), 4_000)
+COLD_N = max(int(50_000 * SCALE), 5_000)
+COLD_CONFLICTS = max(COLD_N // 200, 1)  # 0.5% < 1%
+REPEATS = 3
+
+
+def sparse_update_ia(n, num_conflicts, *, seed=0):
+    """Identity indirection with ``num_conflicts`` backward references.
+
+    Forward/identity references read the renamed ``xold`` and never
+    conflict, so the speculative conflict rate is ``num_conflicts / n``
+    by construction.
+    """
+    rng = np.random.default_rng(seed)
+    ia = np.arange(n)
+    if num_conflicts:
+        hot = rng.choice(np.arange(1, n), size=num_conflicts, replace=False)
+        ia[hot] = (rng.random(num_conflicts) * hot).astype(np.int64)
+    return ia
+
+
+def fresh_program(ia, seed=5):
+    rng = np.random.default_rng(seed)
+    n = ia.shape[0]
+    return LoopProgram.from_indirection(
+        ia.copy(), x=rng.random(n), b=rng.random(n))
+
+
+def test_conflict_rate_sweep(save_table):
+    """Speculation's profile across the conflict-rate axis."""
+    table = TextTable(
+        headers=["conflict rate", "attempts", "violated", "re-executed",
+                 "sim speedup", "shadow KiB", "fell back"],
+        formats=[".4f", "d", "d", "d", ".2f", ".0f", None],
+        title=f"speculative execution vs conflict rate "
+              f"(n={SWEEP_N}, {NPROC} processors)",
+    )
+    for rate in (0.0, 0.001, 0.005, 0.01, 0.05, 0.2):
+        ia = sparse_update_ia(SWEEP_N, int(SWEEP_N * rate), seed=3)
+        prog = fresh_program(ia)
+        rt = Runtime(nproc=NPROC, tuning=None)
+        loop = rt.compile(prog, strategy="speculative")
+        report = loop()
+        spec = report.speculation
+        assert spec is not None
+        sim = loop.simulate() if not spec.fell_back else report.sim
+        speedup = sim.seq_time / sim.total_time
+        table.add_row(spec.conflict_rate, spec.attempts, spec.violated,
+                      spec.re_executed, speedup, spec.shadow_bytes / 1024,
+                      "yes" if spec.fell_back else "no")
+        # Correctness at every point of the sweep.
+        want = SerialExecutor().run(
+            SimpleLoopKernel(prog.data["x"], prog.data["b"], ia))
+        assert np.array_equal(report.x, want)
+        if rate == 0.0:
+            assert spec.attempts == 1 and spec.re_executed == 0
+        if spec.conflict_rate >= FALLBACK_THRESHOLD:
+            assert spec.fell_back
+    print()
+    print(table.render())
+    save_table("speculate_conflict_sweep", table.render())
+
+
+def test_cold_speculative_beats_cold_inspector(save_table):
+    """Acceptance: < 1% conflicts → speculative wins cold, end-to-end."""
+    ia = sparse_update_ia(COLD_N, COLD_CONFLICTS, seed=1)
+
+    def cold(**compile_kwargs):
+        best = float("inf")
+        for _ in range(REPEATS):
+            prog = fresh_program(ia)
+            rt = Runtime(nproc=NPROC, cache=None, tuning=None)
+            t0 = time.perf_counter()
+            loop = rt.compile(prog, **compile_kwargs)
+            report = loop(with_sim=False)
+            best = min(best, time.perf_counter() - t0)
+        return best, report
+
+    classic_s, classic_r = cold()
+    spec_s, spec_r = cold(strategy="speculative")
+    assert np.array_equal(spec_r.x, classic_r.x)
+    assert spec_r.speculation is not None
+    assert spec_r.speculation.conflict_rate < 0.01
+    assert not spec_r.speculation.fell_back
+
+    table = TextTable(
+        headers=["pipeline", "cold ms", "vs classic"],
+        formats=[None, ".2f", ".2f"],
+        title=f"cold compile+execute, {COLD_CONFLICTS / COLD_N:.2%} "
+              f"conflicts (n={COLD_N}, best of {REPEATS})",
+    )
+    table.add_row("inspector/executor", classic_s * 1000, 1.0)
+    table.add_row("speculative", spec_s * 1000, classic_s / spec_s)
+    print()
+    print(table.render())
+    save_table("speculate_cold_vs_inspector", table.render())
+    assert spec_s < classic_s, (
+        f"speculative cold path ({spec_s * 1000:.1f} ms) must beat the "
+        f"cold inspector/executor ({classic_s * 1000:.1f} ms)"
+    )
+
+
+def test_high_conflict_falls_back_bitwise(save_table):
+    """Acceptance: the guard trips and the result stays bitwise serial."""
+    n = max(int(10_000 * SCALE), 1_000)
+    ia = np.maximum(np.arange(n) - 1, 0)  # all-conflict chain
+    prog = fresh_program(ia)
+    rt = Runtime(nproc=NPROC, tuning=None)
+    loop = rt.compile(prog, strategy="speculative")
+    r1 = loop()
+    want = SerialExecutor().run(
+        SimpleLoopKernel(prog.data["x"], prog.data["b"], ia))
+    assert r1.speculation.fell_back
+    assert np.array_equal(r1.x, want)
+    r2 = loop()  # classic pipeline from here on
+    assert r2.speculation is None
+    assert np.array_equal(r2.x, want)
+    table = TextTable(
+        headers=["run", "executor", "conflict rate", "bitwise = serial"],
+        formats=[None, None, ".3f", None],
+        title=f"all-conflict chain (n={n}): guard at "
+              f"{FALLBACK_THRESHOLD:.0%}",
+    )
+    table.add_row("1 (speculative)", r1.executor,
+                  r1.speculation.conflict_rate, "yes")
+    table.add_row("2 (fallen back)", r2.executor, 0.0, "yes")
+    print()
+    print(table.render())
+    save_table("speculate_fallback", table.render())

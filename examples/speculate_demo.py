@@ -1,0 +1,97 @@
+"""Speculative execution: skip the inspector, check afterwards.
+
+The inspector/executor model pays for dependence analysis up front;
+``strategy="speculative"`` pays only when a conflict actually
+happens.  The loop runs optimistically as a DOALL in shuffled chunks,
+element reads/writes are logged into vectorized shadow arrays, one
+scan flags the violated iterations, and exactly those are re-executed
+serially against a checkpoint — bitwise identical to the serial loop,
+misspeculation included.  When the measured conflict rate crosses the
+guard threshold the session recompiles the classic pipeline instead
+and remembers that verdict per structure, across sessions.
+
+Run:  python examples/speculate_demo.py
+      REPRO_EXAMPLE_SCALE=0.2 python examples/speculate_demo.py
+"""
+
+import os
+import tempfile
+import time
+
+import numpy as np
+
+from repro import LoopProgram, Runtime
+from repro.speculate import FALLBACK_THRESHOLD
+
+SCALE = float(os.environ.get("REPRO_EXAMPLE_SCALE", "1.0"))
+rng = np.random.default_rng(1989)
+
+
+def sparse_update(n: int, conflicts: int) -> np.ndarray:
+    """Identity indirection with a few backward (conflicting) refs."""
+    ia = np.arange(n)
+    if conflicts:
+        hot = rng.choice(np.arange(1, n), size=conflicts, replace=False)
+        ia[hot] = (rng.random(conflicts) * hot).astype(np.int64)
+    return ia
+
+
+def main() -> None:
+    n = max(int(40_000 * SCALE), 2_000)
+
+    # ------------------------------------------------------------------
+    # 1. A nearly-DOALL loop: speculation wins without any inspection
+    # ------------------------------------------------------------------
+    ia = sparse_update(n, max(n // 500, 1))  # 0.2% conflicting iterations
+    prog = LoopProgram.from_indirection(ia, x=rng.random(n), b=rng.random(n))
+
+    rt = Runtime(nproc=8, tuning=None)
+    t0 = time.perf_counter()
+    classic = rt.compile(prog)               # dependence graph + wavefronts
+    classic_report = classic(with_sim=False)
+    classic_ms = (time.perf_counter() - t0) * 1000
+
+    rt = Runtime(nproc=8, tuning=None)
+    t0 = time.perf_counter()
+    spec = rt.compile(prog, strategy="speculative")   # no inspection at all
+    report = spec(with_sim=False)
+    spec_ms = (time.perf_counter() - t0) * 1000
+
+    c = report.speculation
+    print(f"sparse update, n={n}, {c.conflict_rate:.2%} conflicts:")
+    print(f"  cold inspector/executor : {classic_ms:7.2f} ms")
+    print(f"  cold speculative        : {spec_ms:7.2f} ms "
+          f"({classic_ms / spec_ms:.1f}x)")
+    print(f"  attempts={c.attempts}, violated={c.violated}, "
+          f"re-executed={c.re_executed} of {n}, "
+          f"shadow memory {c.shadow_bytes / 1024:.0f} KiB")
+    assert np.array_equal(report.x, classic_report.x)
+    print("  results bitwise identical to the classic pipeline\n")
+
+    # ------------------------------------------------------------------
+    # 2. A hostile loop: the guard falls back to the inspector
+    # ------------------------------------------------------------------
+    chain = np.maximum(np.arange(n) - 1, 0)   # every iteration conflicts
+    hostile = LoopProgram.from_indirection(chain, x=rng.random(n),
+                                           b=rng.random(n))
+    with tempfile.TemporaryDirectory() as tuning_dir:
+        rt = Runtime(nproc=8, tuning_dir=tuning_dir)
+        loop = rt.compile(hostile, strategy="speculative")
+        r1 = loop()
+        print(f"all-conflict chain, n={n}:")
+        print(f"  run 1: conflict rate {r1.speculation.conflict_rate:.0%} "
+              f">= guard {FALLBACK_THRESHOLD:.0%} -> fell back")
+        r2 = loop()
+        print(f"  run 2: executor={r2.executor!r} (classic pipeline), "
+              f"speculation={r2.speculation}")
+
+        # The verdict is persisted per structure: a fresh session skips
+        # the speculative attempt entirely.
+        rt2 = Runtime(nproc=8, tuning_dir=tuning_dir)
+        r3 = rt2.compile(hostile, strategy="speculative")()
+        print(f"  fresh session: executor={r3.executor!r} "
+              f"(remembered fallback)")
+
+
+if __name__ == "__main__":
+    main()

@@ -55,8 +55,10 @@ from .runtime import (
     register_backend,
 )
 from .tuning import Tuner, TuningStore, TuningVerdict
+# Importing the package registers the "speculative" executor/backend.
+from .speculate import AccessLog, ConflictReport, SpeculativeExecutor
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "At",
@@ -69,6 +71,9 @@ __all__ = [
     "Tuner",
     "TuningStore",
     "TuningVerdict",
+    "AccessLog",
+    "ConflictReport",
+    "SpeculativeExecutor",
     "register_executor",
     "register_scheduler",
     "register_partitioner",

@@ -124,6 +124,16 @@ class LoopProgram:
             self._hash = h.hexdigest()
         return self._hash
 
+    def resolved_accesses(self):
+        """The resolved read/write descriptors, as two tuples.
+
+        This is the program's access pattern in CSR form — exactly
+        what the speculative shadow logger
+        (:class:`repro.speculate.AccessLog`) consumes, without any
+        dependence extraction.
+        """
+        return tuple(self._resolved_reads), tuple(self._resolved_writes)
+
     def structural_names(self) -> frozenset:
         """Data-entry names that feed the dependence structure."""
         names = [d.index_name for d in self.reads + self.writes
@@ -238,11 +248,19 @@ class LoopProgram:
         ``n-1-k``), so every scheduler applies unchanged.  ``b`` binds
         the right-hand side — the rebindable data of the Krylov
         pattern; omit it for a dependence-only program.
+
+        The matrix *values* are bound as data entry ``"a"`` (and an
+        explicit ``diag`` as ``"diag"``), so
+        ``loop.rebind(a=new_values)`` swaps the numeric matrix on the
+        same sparsity without rebuilding the program or touching the
+        inspector — the ILU-refactorization pattern, where each
+        refactorization changes values but never structure.
         """
         from ..core.executor import (  # deferred: cycle
             TriangularSolveKernel,
             UpperTriangularSolveKernel,
         )
+        from ..sparse.csr import CSRMatrix
         from ..util.frontier import counts_to_indptr
 
         n = t.nrows
@@ -258,16 +276,22 @@ class LoopProgram:
         order = np.argsort(it, kind="stable")
         indptr = counts_to_indptr(np.bincount(it, minlength=n))
         reads = (At("x", (indptr, el[order])), At("b"))
-        data = {}
+        data = {"a": np.asarray(t.data, dtype=np.float64)}
+        if diag is not None:
+            data["diag"] = np.asarray(diag, dtype=np.float64)
         kernel = None
         if b is not None:
             data["b"] = np.asarray(b, dtype=np.float64)
-            if lower:
-                kernel = lambda b: TriangularSolveKernel(  # noqa: E731
-                    t, b, diag=diag, unit_diagonal=unit_diagonal)
-            else:
-                kernel = lambda b: UpperTriangularSolveKernel(  # noqa: E731
-                    t, b, diag=diag, unit_diagonal=unit_diagonal)
+            kernel_cls = (TriangularSolveKernel if lower
+                          else UpperTriangularSolveKernel)
+
+            def kernel(b, a, diag=None):
+                # Same sparsity, fresh values: rebinding "a" (or
+                # "diag") rebuilds only this kernel, never the
+                # dependence analysis.
+                m = CSRMatrix(t.indptr, t.indices, a, t.shape)
+                return kernel_cls(m, b, diag=diag,
+                                  unit_diagonal=unit_diagonal)
         return cls(
             n,
             reads=reads,

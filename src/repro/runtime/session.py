@@ -113,6 +113,9 @@ class RunReport:
     host_seconds: float
     #: Snapshot of the session cache counters at report time.
     cache_stats: CacheStats | None = None
+    #: :class:`~repro.speculate.ConflictReport` of a speculative
+    #: execution (``None`` on the classic inspected paths).
+    speculation: object | None = None
 
     @property
     def inspect_cost(self) -> float:
@@ -438,15 +441,24 @@ class Runtime:
         as ``loop.verdict``.  Explicit ``executor=``/``scheduler=``/
         ``assignment=``/``balance=`` arguments are ignored under
         ``"auto"``.
+
+        ``strategy="speculative"`` skips inspection entirely and
+        returns a loop that executes optimistically with vectorized
+        conflict detection (:mod:`repro.speculate`) — with an adaptive
+        guard that recompiles the classic pipeline, and remembers the
+        decision in the ``TuningStore``, when the measured conflict
+        rate is too high.
         """
         program = deps if getattr(deps, "__loop_program__", False) else None
         verdict = None
         if strategy is not None:
+            if strategy == "speculative":
+                return self._compile_speculative(deps)
             if strategy != "auto":
                 raise ValidationError(
                     f"unknown strategy {strategy!r}; valid options are: "
-                    "'auto' (or omit it and pick executor/scheduler/"
-                    "assignment/balance explicitly)"
+                    "'auto', 'speculative' (or omit it and pick executor/"
+                    "scheduler/assignment/balance explicitly)"
                 )
             # Normalize once: the tuner's store key and the schedule
             # cache below hash the same graph.
@@ -456,6 +468,15 @@ class Runtime:
             scheduler = verdict.scheduler
             assignment = verdict.assignment
             balance = verdict.balance
+        # Speculative-flagged executors never pay for an inspection:
+        # whether named explicitly or picked by an "auto" verdict, they
+        # route through the no-inspection fast path (their scheduler/
+        # assignment/balance strings are meaningless and ignored).
+        if (executor in executor_registry
+                and executor_registry.metadata(executor).get("speculative")):
+            return self._compile_speculative(
+                program if program is not None else deps, verdict=verdict,
+            )
         resolved = self._resolve_strategy(executor, scheduler,
                                           assignment, balance)
 
@@ -477,10 +498,6 @@ class Runtime:
             if self.cache is not None:
                 self.cache.put(key, inspection)
 
-        self._compile_counts[key] = self._compile_counts.get(key, 0) + 1
-        self._compile_counts.move_to_end(key)
-        while len(self._compile_counts) > self._compile_counts_max:
-            self._compile_counts.popitem(last=False)
         executor_obj = executor_registry.get(executor)(
             inspection, self.nproc, self.costs,
         )
@@ -488,7 +505,7 @@ class Runtime:
             executor_name=executor, scheduler_name=scheduler,
             assignment=assignment, balance=balance, executor=executor_obj,
             cache_hit=cache_hit,
-            compile_count=self._compile_counts[key],
+            compile_count=self._count_compile(key),
             verdict=verdict,
         )
         if program is None:
@@ -497,6 +514,28 @@ class Runtime:
 
         return BoundLoop(self, inspection, program=program,
                          bound_kernel=program.make_kernel(), **common)
+
+    # ------------------------------------------------------------------
+    def _count_compile(self, key: str) -> int:
+        """Bump and return the per-structure compile counter (bounded)."""
+        self._compile_counts[key] = self._compile_counts.get(key, 0) + 1
+        self._compile_counts.move_to_end(key)
+        while len(self._compile_counts) > self._compile_counts_max:
+            self._compile_counts.popitem(last=False)
+        return self._compile_counts[key]
+
+    def _compile_speculative(self, deps, verdict=None):
+        """The ``strategy="speculative"`` fast path — no inspection.
+
+        Builds an access log straight from the dependence source and
+        binds a :class:`~repro.speculate.SpeculativeExecutor`; the
+        session's ``TuningStore`` is consulted first, so a structure
+        whose adaptive guard already fell back compiles the classic
+        pipeline immediately.
+        """
+        from ..speculate.loop import compile_speculative  # deferred: cycle
+
+        return compile_speculative(self, deps, verdict=verdict)
 
     # ------------------------------------------------------------------
     def tune(self, deps, *, kernel=None, backend: str | None = None):

@@ -1,0 +1,311 @@
+"""The speculative executor — run first, check afterwards, repair rarely.
+
+:class:`SpeculativeExecutor` is the library's third execution tier,
+next to the pre-scheduled and self-executing executors: it never sees
+a schedule because it never runs an inspection.  One execution is
+
+1. **checkpoint** — snapshot the kernel's written array right after
+   ``start()``;
+2. **optimistic attempt** — partition ``[0, n)`` into contiguous
+   chunks and execute them as batches in a seeded-RNG-shuffled order,
+   as if the loop were DOALL;
+3. **detect** — one vectorized shadow scan
+   (:func:`~repro.speculate.shadow.scan_accesses`) flags the violated
+   iterations;
+4. **repair** — restore the elements the violated closure wrote back
+   to the checkpoint and re-execute exactly those iterations serially,
+   in index order.
+
+The repair is sound because a non-violated iteration, by construction,
+read nothing any in-range iteration writes (or read it through the
+kernels' Figure 4 ``xold`` renaming, which no execution order can
+perturb) — so its optimistic value is already the serial value, and
+the serial sweep over the :func:`repair set
+<repro.speculate.shadow.repair_set>` recomputes the rest against
+correct operands.  The result is bitwise identical to the serial
+backend, misspeculation included; the adversarial tests assert it.
+
+Because the shadow scan depends only on the *access pattern* — never
+on computed values — the whole attempt/detect/repair control flow is
+precomputed once per structure (:meth:`SpeculativeExecutor.plan`) and
+replayed by both :meth:`run` (numerics) and :meth:`simulate` (exact
+machine-model timing), and it survives data rebinds for free.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..machine.costs import MachineCosts
+from ..machine.simulator import SimResult
+from ..runtime.registry import register_executor
+from ..util.rng import default_rng
+from .shadow import AccessLog, ShadowScan, repair_set, scan_accesses
+
+__all__ = ["ConflictReport", "SpeculationPlan", "SpeculativeExecutor"]
+
+#: Measured conflict rate at which the adaptive guard abandons
+#: speculation for a structure and recompiles the classic
+#: inspector/executor pipeline instead.
+FALLBACK_THRESHOLD = 0.05
+
+
+@dataclass
+class ConflictReport:
+    """What one speculative execution did — attached to ``RunReport``."""
+
+    #: Execution passes: 1 (clean) or 2 (optimistic + repair).
+    attempts: int
+    #: Directly violated fraction of the iteration space.
+    conflict_rate: float
+    #: Directly violated iterations (before the repair closure).
+    violated: int
+    #: Iterations re-executed serially (the violated closure).
+    re_executed: int
+    #: Elements restored from the checkpoint before re-execution.
+    restored_elements: int
+    #: Iterations whose optimistic values were kept as-is.
+    committed_optimistically: int
+    #: Chunking of the optimistic attempt.
+    chunks: int
+    chunk_size: int
+    #: First violated iteration (``None`` when the attempt was clean).
+    first_violation: int | None
+    #: Bytes of the event log + shadow arrays backing the detection.
+    shadow_bytes: int
+    #: Seed of the chunk-order shuffle (misspeculation is reproducible).
+    seed: int
+    #: Set by the adaptive guard when this run tripped the fallback —
+    #: future executions of the loop use the classic pipeline.
+    fell_back: bool = False
+
+
+@dataclass
+class SpeculationPlan:
+    """Precomputed attempt/detect/repair control flow of one structure.
+
+    Deterministic in (access log, seed, chunking) and independent of
+    array values, so :meth:`SpeculativeExecutor.run` and
+    :meth:`SpeculativeExecutor.simulate` replay the same plan.
+    """
+
+    #: ``(lo, hi)`` chunk bounds in shuffled execution order.
+    chunk_bounds: tuple
+    #: The shadow scan of the optimistic attempt.
+    scan: ShadowScan
+    #: Indices to re-execute serially, ascending.
+    repair_indices: np.ndarray
+    #: Elements to restore from the checkpoint first, unique.
+    restore_elements: np.ndarray
+    #: Report template (copied per run so ``fell_back`` never leaks).
+    report: ConflictReport
+
+
+class SpeculativeExecutor:
+    """Optimistic DOALL execution with vectorized conflict detection.
+
+    Parameters
+    ----------
+    log:
+        The loop's :class:`~repro.speculate.shadow.AccessLog`.
+    nproc:
+        Processor count (chunk granularity and simulated timing).
+    costs:
+        Machine cost model for :meth:`simulate`.
+    seed:
+        Chunk-shuffle seed; the session passes its ``tune_seed`` so
+        misspeculation and repair are reproducible per session.
+    chunks_per_proc:
+        Attempt granularity: ``min(chunks_per_proc * nproc, n)``
+        contiguous chunks.
+    schedule:
+        Optional real schedule (when built from an inspection by the
+        registry factory); a lightweight identity stand-in otherwise.
+    """
+
+    mode = "speculative"
+
+    def __init__(self, log: AccessLog, nproc: int,
+                 costs: MachineCosts = MachineCosts(), *, seed=None,
+                 chunks_per_proc: int = 4, schedule=None):
+        if nproc < 1:
+            raise ValidationError("nproc must be positive")
+        self.log = log
+        self.nproc = int(nproc)
+        self.costs = costs
+        self.seed = seed
+        self.chunks_per_proc = int(chunks_per_proc)
+        self.schedule = schedule if schedule is not None else _SpecSchedule(
+            n=log.n, nproc=self.nproc)
+        #: :class:`ConflictReport` of the most recent :meth:`run`.
+        self.last_conflicts: ConflictReport | None = None
+        self._plan: SpeculationPlan | None = None
+
+    # ------------------------------------------------------------------
+    def plan(self) -> SpeculationPlan:
+        """The (cached) attempt/detect/repair plan of this structure."""
+        if self._plan is None:
+            self._plan = self._build_plan()
+        return self._plan
+
+    def _build_plan(self) -> SpeculationPlan:
+        log = self.log
+        n = log.n
+        k = min(max(1, self.chunks_per_proc * self.nproc), max(n, 1))
+        edges = (np.arange(k + 1, dtype=np.int64) * n) // k
+        order = default_rng(self.seed).permutation(k)
+        bounds = tuple(
+            (int(edges[j]), int(edges[j + 1])) for j in order
+            if edges[j] < edges[j + 1]
+        )
+        scan = scan_accesses(log)
+        repair = repair_set(log, scan)
+        repair_indices = np.nonzero(repair)[0]
+        if repair_indices.size:
+            restore = np.unique(log.write_el[repair[log.write_it]])
+        else:
+            restore = np.empty(0, dtype=np.int64)
+        violated = scan.num_violated
+        report = ConflictReport(
+            attempts=1 if repair_indices.size == 0 else 2,
+            conflict_rate=violated / n if n else 0.0,
+            violated=violated,
+            re_executed=int(repair_indices.size),
+            restored_elements=int(restore.size),
+            committed_optimistically=n - int(repair_indices.size),
+            chunks=len(bounds),
+            chunk_size=int(np.diff(edges).max()) if n else 0,
+            first_violation=(int(np.argmax(scan.violated))
+                             if violated else None),
+            shadow_bytes=log.nbytes + scan.nbytes,
+            seed=self.seed if isinstance(self.seed, int) else -1,
+        )
+        return SpeculationPlan(chunk_bounds=bounds, scan=scan,
+                               repair_indices=repair_indices,
+                               restore_elements=restore, report=report)
+
+    # ------------------------------------------------------------------
+    def run(self, kernel) -> np.ndarray:
+        """Execute ``kernel`` speculatively; bitwise equal to serial."""
+        plan = self.plan()
+        log = self.log
+        if kernel.n != log.n:
+            raise ValidationError(
+                f"kernel has n={kernel.n}, access log has n={log.n}"
+            )
+        kernel.start()
+        x = kernel.result()
+        if not isinstance(x, np.ndarray) or x.ndim != 1:
+            raise ValidationError(
+                "speculative execution needs checkpoint/restore: the "
+                "kernel's result() must be a 1-D array after start(), "
+                f"got {type(x).__name__}"
+            )
+        if log.write_el.size and x.shape[0] <= int(log.write_el.max()):
+            raise ValidationError(
+                f"kernel result has {x.shape[0]} elements but the loop "
+                f"writes element {int(log.write_el.max())}"
+            )
+        base = x.copy() if plan.repair_indices.size else None
+        for lo, hi in plan.chunk_bounds:
+            kernel.execute_batch(np.arange(lo, hi, dtype=np.int64))
+        if plan.repair_indices.size:
+            x[plan.restore_elements] = base[plan.restore_elements]
+            for i in plan.repair_indices:
+                kernel.execute_index(int(i))
+        self.last_conflicts = dataclasses.replace(plan.report)
+        return kernel.result()
+
+    def run_threaded(self, kernel, *, timeout: float = 30.0):
+        raise ValidationError(
+            "the speculative executor runs on the 'serial', "
+            "'speculative' or 'sim' backends; the 'threads' protocol "
+            "would race on the shared shadow state"
+        )
+
+    # ------------------------------------------------------------------
+    def simulate(self, *, unit_work: np.ndarray | None = None,
+                 keep_finish_times: bool = False) -> SimResult:
+        """Machine-model timing of the same plan :meth:`run` replays.
+
+        The optimistic attempt deals the shuffled chunks round-robin
+        over the processors and costs the maximum load (plus
+        shadow-logging overheads per event: a ``t_check``-priced read
+        log, a ``t_inc``-priced write log).  Detection is one parallel
+        sweep over the events; repair restores at ``t_rearrange`` per
+        element and re-executes its iterations serially.
+        """
+        plan = self.plan()
+        log, p, costs = self.log, self.nproc, self.costs
+        n = log.n
+        counts_r = log.read_counts().astype(np.float64)
+        counts_w = log.write_counts().astype(np.float64)
+        if unit_work is None:
+            base = costs.base_work(counts_r)
+        else:
+            base = np.asarray(unit_work, dtype=np.float64)
+            if base.shape[0] != n:
+                raise ValidationError(f"unit_work must have length n={n}")
+        shared = costs.shared_factor(p)
+        w = base + shared * (costs.t_check * counts_r
+                             + costs.t_inc * counts_w)
+        prefix = np.zeros(n + 1)
+        np.cumsum(w, out=prefix[1:])
+        busy = np.zeros(p)
+        for k, (lo, hi) in enumerate(plan.chunk_bounds):
+            busy[k % p] += prefix[hi] - prefix[lo]
+        attempt = float(busy.max()) if n else 0.0
+        detect = shared * costs.t_check * log.num_events / p
+        total = attempt + detect
+        repair = 0.0
+        if plan.repair_indices.size:
+            repair = (costs.t_rearrange * plan.restore_elements.size
+                      + float(base[plan.repair_indices].sum()))
+            busy[0] += repair
+            total += repair
+        idle = np.maximum(total - busy, 0.0)
+        return SimResult(
+            mode="speculative",
+            nproc=p,
+            total_time=float(total),
+            seq_time=float(base.sum()),
+            busy=busy,
+            idle=idle,
+            check_time=float(detect + shared * costs.t_check * counts_r.sum()),
+            inc_time=float(shared * costs.t_inc * counts_w.sum()),
+            num_phases=plan.report.attempts,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"SpeculativeExecutor(n={self.log.n}, nproc={self.nproc}, "
+                f"events={self.log.num_events}, seed={self.seed!r})")
+
+
+@dataclass(frozen=True)
+class _SpecSchedule:
+    """Identity stand-in satisfying the executor ``schedule`` contract."""
+
+    n: int
+    nproc: int
+    num_wavefronts: int = 0
+
+
+@register_executor("speculative", scheduler_override="identity",
+                   fixed_assignment="wrapped", speculative=True)
+def _build_speculative(inspection, nproc: int, costs: MachineCosts):
+    """Registry factory (classic contract): events off the inspected graph.
+
+    :meth:`Runtime.compile <repro.runtime.session.Runtime.compile>`
+    reroutes ``speculative``-flagged executors through the
+    no-inspection fast path, so this factory only serves callers
+    driving the executor registry directly against an existing
+    inspection.
+    """
+    return SpeculativeExecutor(
+        AccessLog.from_dependences(inspection.dep), nproc, costs,
+        schedule=inspection.schedule,
+    )

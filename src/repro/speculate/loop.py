@@ -1,0 +1,260 @@
+"""Session integration — compile without inspecting, guard, remember.
+
+:func:`compile_speculative` is the body of
+``Runtime.compile(deps, strategy="speculative")``: it builds an
+:class:`~repro.speculate.shadow.AccessLog` straight from the
+dependence source (a program's declared accesses, or an
+inspector-normalized graph — never a wavefront sweep, never a sort),
+wraps a :class:`~repro.speculate.executor.SpeculativeExecutor`, and
+returns a :class:`SpeculativeLoop` (or :class:`SpeculativeBoundLoop`
+for programs, so ``rebind`` keeps working — a value rebind reuses the
+cached speculation plan for free).
+
+The **adaptive guard** lives in the loop's call path: every execution
+attaches its :class:`~repro.speculate.executor.ConflictReport` to the
+:class:`~repro.runtime.session.RunReport`, and when the measured
+conflict rate reaches :data:`~repro.speculate.executor.FALLBACK_THRESHOLD`
+the loop recompiles itself through the classic inspector/executor
+pipeline for all future calls (the triggering run is already correct —
+speculation repairs before it reports).  The verdict is persisted in
+the session's :class:`~repro.tuning.TuningStore` under
+:func:`speculation_key`, so the *next* session skips speculation for
+that structure without ever re-measuring it; a low-conflict success is
+recorded the same way, purely as a diagnostic breadcrumb.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..runtime.backends import ExecutionBackend
+from ..runtime.registry import register_backend
+from ..util.timing import Stopwatch
+from .executor import FALLBACK_THRESHOLD, SpeculativeExecutor
+from .shadow import AccessLog
+
+__all__ = [
+    "SpeculativeLoop",
+    "SpeculativeBoundLoop",
+    "compile_speculative",
+    "speculation_key",
+]
+
+
+def speculation_key(log: AccessLog, nproc: int, costs) -> str:
+    """TuningStore key of one speculation decision.
+
+    Hashes the access events (the exact structure speculation sees),
+    the machine shape and the cost model — the same ingredients as the
+    classic tuning key, minus the strategy space: the fallback verdict
+    is about the *workload*, not about which schedulers are registered.
+    """
+    h = hashlib.blake2b(digest_size=20)
+    for arr in (log.read_it, log.read_el, log.write_it, log.write_el):
+        h.update(np.ascontiguousarray(arr, dtype=np.int64).tobytes())
+    h.update(repr((log.n, log.n_elements, int(nproc),
+                   dataclasses.astuple(costs), "speculate-v1")).encode())
+    return h.hexdigest()
+
+
+class _SpeculativeInspection:
+    """Stand-in for :class:`~repro.core.inspector.InspectionResult`.
+
+    Satisfies everything a compiled loop reads from its inspection —
+    with ``pipeline_cost`` 0 (nothing was inspected) and the
+    dependence graph materialized lazily, only if a caller actually
+    asks for ``loop.dep`` (diagnostics); execution never does.
+    """
+
+    strategy = "speculative"
+
+    def __init__(self, source, log: AccessLog, schedule,
+                 host_seconds: float = 0.0):
+        self._source = source
+        self.log = log
+        self.schedule = schedule
+        self.host_seconds = host_seconds
+        self._dep = None
+
+    @property
+    def pipeline_cost(self) -> float:
+        return 0.0
+
+    @property
+    def num_wavefronts(self) -> int:
+        return 0
+
+    @property
+    def wavefronts(self):
+        return None
+
+    @property
+    def dep(self):
+        if self._dep is None:
+            from ..core.inspector import Inspector  # deferred: cycle
+
+            self._dep = Inspector.dependences_of(self._source)
+        return self._dep
+
+
+class _SpeculativeCallMixin:
+    """The guard + reporting shared by both speculative loop classes."""
+
+    def _init_speculation(self, source, store_key: str,
+                          fallback_threshold: float) -> None:
+        self._source = source
+        self._store_key = store_key
+        self.fallback_threshold = fallback_threshold
+        self._fallback_loop = None
+        self._verdict_recorded = False
+
+    # ------------------------------------------------------------------
+    def __call__(self, kernel=None, *, backend=None, unit_work=None,
+                 timeout: float = 30.0, with_sim: bool = True):
+        if self._fallback_loop is not None:
+            return self._fallback_loop(kernel, backend=backend,
+                                       unit_work=unit_work,
+                                       timeout=timeout, with_sim=with_sim)
+        self.executor.last_conflicts = None
+        report = super().__call__(kernel, backend=backend,
+                                  unit_work=unit_work, timeout=timeout,
+                                  with_sim=with_sim)
+        conflicts = self.executor.last_conflicts
+        if conflicts is not None:  # timing-only backends never ran
+            report.speculation = conflicts
+            if conflicts.conflict_rate >= self.fallback_threshold:
+                conflicts.fell_back = True
+                self._record_verdict(conflicts, fallback=True)
+                self._fallback_loop = self._compile_fallback()
+            elif not self._verdict_recorded:
+                self._record_verdict(conflicts, fallback=False)
+        return report
+
+    run = __call__
+
+    # ------------------------------------------------------------------
+    def _compile_fallback(self):
+        return self.runtime.compile(
+            self._source, executor="self", scheduler="local",
+            assignment="wrapped", balance="wrapped",
+        )
+
+    def _record_verdict(self, conflicts, *, fallback: bool) -> None:
+        self._verdict_recorded = True
+        store = self.runtime.tuning_store
+        if store is None:
+            return
+        from ..tuning.store import TuningVerdict  # deferred: cycle
+
+        sim = self.simulate()
+        if fallback:
+            spec = ("self", "local", "wrapped", "wrapped")
+        else:
+            spec = ("speculative", "identity", "wrapped", "wrapped")
+        store.put(self._store_key, TuningVerdict(
+            executor=spec[0], scheduler=spec[1], assignment=spec[2],
+            balance=spec[3],
+            sim_makespan=float(sim.total_time),
+            seq_time=float(sim.seq_time),
+            candidates=1, sims=1,
+            seed=conflicts.seed,
+            signature=(f"speculation:rate={conflicts.conflict_rate:.4f},"
+                       f"reexec={conflicts.re_executed},"
+                       f"fallback={fallback}"),
+        ))
+
+
+# CompiledLoop / BoundLoop are imported at module bottom to keep the
+# import order explicit: this module loads after repro.program.
+from ..runtime.session import CompiledLoop  # noqa: E402
+from ..program.binding import BoundLoop  # noqa: E402
+
+
+class SpeculativeLoop(_SpeculativeCallMixin, CompiledLoop):
+    """A compiled loop that speculates instead of inspecting."""
+
+
+class SpeculativeBoundLoop(_SpeculativeCallMixin, BoundLoop):
+    """Program-compiled speculative loop; ``rebind`` works as usual.
+
+    Data-only rebinds keep the cached speculation plan (the plan
+    depends on access structure, never on values); structural rebinds
+    recompile through the fast path like any other strategy.  Once the
+    guard has fallen back, rebinds are forwarded to the fallback loop.
+    """
+
+    def rebind(self, **arrays):
+        if self._fallback_loop is not None:
+            self._fallback_loop = self._fallback_loop.rebind(**arrays)
+            self.program = self._fallback_loop.program
+            return self
+        loop = super().rebind(**arrays)
+        if loop is self:
+            self._source = self.program
+        return loop
+
+
+def compile_speculative(runtime, deps, *, verdict=None):
+    """Build a speculative loop — the ``strategy="speculative"`` body.
+
+    Consults the session's :class:`~repro.tuning.TuningStore` first: a
+    remembered fallback verdict for this structure compiles the classic
+    pipeline immediately (no speculation, no re-measuring).
+    """
+    sw = Stopwatch().start()
+    program = deps if getattr(deps, "__loop_program__", False) else None
+    log = AccessLog.from_source(deps)
+    key = "spec:" + speculation_key(log, runtime.nproc, runtime.costs)
+    store = runtime.tuning_store
+    if store is not None:
+        remembered = store.get(key)
+        if remembered is not None and remembered.executor != "speculative":
+            return runtime.compile(deps, **remembered.compile_kwargs())
+    executor = SpeculativeExecutor(log, runtime.nproc, runtime.costs,
+                                   seed=runtime.tune_seed)
+    sw.stop()
+    inspection = _SpeculativeInspection(deps, log, executor.schedule,
+                                        host_seconds=sw.elapsed)
+    common = dict(
+        executor_name="speculative", scheduler_name="identity",
+        assignment="wrapped", balance="wrapped", executor=executor,
+        cache_hit=False, compile_count=runtime._count_compile(key),
+        verdict=verdict,
+    )
+    if program is None:
+        loop = SpeculativeLoop(runtime, inspection, **common)
+    else:
+        loop = SpeculativeBoundLoop(runtime, inspection, program=program,
+                                    bound_kernel=program.make_kernel(),
+                                    **common)
+    loop._init_speculation(deps, key, FALLBACK_THRESHOLD)
+    return loop
+
+
+@register_backend("speculative")
+class SpeculativeBackend(ExecutionBackend):
+    """Explicit speculative execution — rejects non-speculative loops.
+
+    The default ``serial`` backend already runs a speculative loop
+    speculatively (the executor owns the protocol); this backend
+    exists so a caller can *assert* the no-inspection path, the same
+    way ``threads`` asserts the synchronization protocol.
+    """
+
+    name = "speculative"
+
+    def execute(self, compiled, kernel, *, unit_work=None, timeout=30.0):
+        self.check_kernel(kernel)
+        executor = compiled.executor
+        if getattr(executor, "mode", None) != "speculative":
+            raise ValidationError(
+                "the 'speculative' backend requires a loop compiled with "
+                "strategy='speculative' (this loop uses the "
+                f"{compiled.executor_name!r} executor); use the 'serial' "
+                "backend instead"
+            )
+        return executor.run(kernel), None

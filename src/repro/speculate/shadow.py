@@ -1,0 +1,345 @@
+"""Shadow-memory conflict detection — the speculative third leg.
+
+The classic pipeline pays a mandatory wavefront sweep before anything
+executes.  Speculation inverts the order: run first, then check.  The
+check is what this module provides, LRPD-style, fully vectorized:
+
+* the loop's element accesses are flattened into *event* arrays — one
+  ``(iteration, element)`` pair per read and per write — either taken
+  directly from a :class:`~repro.program.LoopProgram`'s resolved
+  descriptors (no dependence extraction at all) or synthesized from an
+  existing :class:`~repro.core.dependence.DependenceGraph`;
+* a single pass scatters the events into per-element *shadow arrays*
+  (first-write iteration, max-write iteration, min-read iteration,
+  plus a write-after-write marker), then one gather/compare flags the
+  *violated* iterations — the ones whose optimistic execution may have
+  consumed or produced a wrong value.
+
+An iteration ``i`` is violated when
+
+* **stale read** — it reads an element some earlier iteration writes
+  (``first_write[e] < i``): under unordered execution the read may
+  see the unwritten (or mid-flight) value;
+* **clobbered snapshot read** — it re-reads an element a *committed*
+  earlier range already wrote while a later iteration of the current
+  range also writes it (``committed[e] and max_write[e] > i``): the
+  later write may land before the read;
+* **write-after-write** — it writes an element an earlier iteration
+  also writes (``first_write[e] < i``): last-writer-wins is not
+  guaranteed without ordering.
+
+Reads with *no* earlier writer are safe under the library's kernel
+contract (Figure 4 renaming: such reads consume the ``xold`` snapshot,
+which no execution order can perturb) — exactly the reads the
+dependence extractor leaves edge-free.
+
+The scan costs a handful of O(events) numpy operations — typically an
+order of magnitude cheaper than the wavefront sweep plus schedule sort
+it replaces, which is the whole economic argument for speculation on
+rarely-dependent loops.  :func:`repro.core.reference.speculation_violations`
+is the pure-Python oracle the property suite checks this module
+against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ValidationError
+
+__all__ = ["AccessLog", "ShadowScan", "scan_accesses", "repair_set"]
+
+
+@dataclass(frozen=True)
+class AccessLog:
+    """Flattened element-access events of one loop.
+
+    ``(read_it[k], read_el[k])`` means iteration ``read_it[k]`` reads
+    element ``read_el[k]`` of the written array; likewise for writes.
+    Only accesses of *written* arrays appear — reads of read-only
+    arrays can never conflict (their values never change), mirroring
+    the dependence extractor.
+    """
+
+    #: Iteration count of the loop.
+    n: int
+    #: Size of the shadow element space (max touched element + 1).
+    n_elements: int
+    read_it: np.ndarray
+    read_el: np.ndarray
+    write_it: np.ndarray
+    write_el: np.ndarray
+    #: True when the writes are exactly ``x[i] = ...`` (element == iteration)
+    #: — the Figure 3/8 shape, which skips the scatter passes.
+    identity_writes: bool = False
+
+    # ------------------------------------------------------------------
+    @property
+    def num_events(self) -> int:
+        return int(self.read_it.shape[0] + self.write_it.shape[0])
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of the event log (the speculation's shadow footprint)."""
+        return int(self.read_it.nbytes + self.read_el.nbytes
+                   + self.write_it.nbytes + self.write_el.nbytes)
+
+    def read_counts(self) -> np.ndarray:
+        """Per-iteration read-event counts (the work-model analogue of
+        the dependence counts the classic pipeline uses)."""
+        return np.bincount(self.read_it, minlength=self.n)
+
+    def write_counts(self) -> np.ndarray:
+        return np.bincount(self.write_it, minlength=self.n)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_program(cls, program) -> "AccessLog":
+        """Events straight from a program's resolved descriptors.
+
+        No dependence extraction happens here — this is the
+        no-inspection entry point.  Programs writing more than one
+        array fall back to :meth:`from_dependences` at the call site.
+        """
+        reads, writes = program.resolved_accesses()
+        written = {acc.array for acc in writes}
+        if len(written) != 1:
+            raise ValidationError(
+                "speculative execution requires a program writing exactly "
+                f"one array, got {sorted(written) or '(none)'}"
+            )
+        n = int(program.n)
+        w_it, w_el = _events(n, [a for a in writes])
+        r_it, r_el = _events(n, [a for a in reads if a.array in written])
+        identity = len(writes) == 1 and writes[0].identity
+        return cls(
+            n=n,
+            n_elements=_element_space(n, r_el, w_el),
+            read_it=r_it, read_el=r_el,
+            write_it=w_it, write_el=w_el,
+            identity_writes=identity,
+        )
+
+    @classmethod
+    def from_dependences(cls, dep) -> "AccessLog":
+        """Synthesize events from an iteration-level dependence graph.
+
+        Edge ``i -> j`` becomes "iteration ``i`` reads element ``j``";
+        every iteration writes its own element — precisely the Figure 3
+        convention, so the violated set equals the set of iterations
+        with at least one incoming dependence.
+        """
+        n = int(dep.n)
+        ident = np.arange(n, dtype=np.int64)
+        return cls(
+            n=n,
+            n_elements=n,
+            read_it=dep.edge_rows().astype(np.int64, copy=False),
+            read_el=dep.indices.astype(np.int64, copy=False),
+            write_it=ident, write_el=ident,
+            identity_writes=True,
+        )
+
+    @classmethod
+    def from_source(cls, source) -> "AccessLog":
+        """Events from any dependence source the runtime accepts.
+
+        Programs use their declared accesses directly (no extraction)
+        unless they write several arrays; everything else normalizes
+        through :meth:`Inspector.dependences_of
+        <repro.core.inspector.Inspector.dependences_of>` — still no
+        wavefront sweep, no schedule sort.
+        """
+        if getattr(source, "__loop_program__", False):
+            try:
+                return cls.from_program(source)
+            except ValidationError:
+                return cls.from_dependences(source.dependence_graph())
+        from ..core.inspector import Inspector  # deferred: import cycle
+
+        return cls.from_dependences(Inspector.dependences_of(source))
+
+
+def _events(n: int, accesses) -> tuple[np.ndarray, np.ndarray]:
+    """Flatten resolved accesses into (iteration, element) arrays."""
+    its, els = [], []
+    for acc in accesses:
+        if acc.identity:
+            its.append(np.arange(n, dtype=np.int64))
+            els.append(np.arange(n, dtype=np.int64))
+        else:
+            from ..util.frontier import rows_from_indptr
+
+            its.append(rows_from_indptr(acc.indptr))
+            els.append(acc.indices.astype(np.int64, copy=False))
+    if not its:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    return np.concatenate(its), np.concatenate(els)
+
+
+def _element_space(n: int, r_el: np.ndarray, w_el: np.ndarray) -> int:
+    m = n
+    if r_el.size:
+        m = max(m, int(r_el.max()) + 1)
+    if w_el.size:
+        m = max(m, int(w_el.max()) + 1)
+    return m
+
+
+# ----------------------------------------------------------------------
+# The vectorized shadow scan
+# ----------------------------------------------------------------------
+
+@dataclass
+class ShadowScan:
+    """Outcome of one conflict-detection pass.
+
+    The per-element shadow arrays use sentinels ``n`` (first_write /
+    min_read: "never") and ``-1`` (max_write: "never").
+    """
+
+    #: Violated-iteration mask, length ``n``.
+    violated: np.ndarray
+    #: Per-element earliest in-range writer (sentinel ``n``).
+    first_write: np.ndarray
+    #: Per-element latest in-range writer (sentinel ``-1``).
+    max_write: np.ndarray
+    #: Per-element earliest in-range reader (sentinel ``n``).
+    min_read: np.ndarray
+    #: Per-element write-after-write marker (two distinct writers).
+    multi_writer: np.ndarray
+
+    @property
+    def num_violated(self) -> int:
+        return int(np.count_nonzero(self.violated))
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.violated.nbytes + self.first_write.nbytes
+                   + self.max_write.nbytes + self.min_read.nbytes
+                   + self.multi_writer.nbytes)
+
+
+def scan_accesses(log: AccessLog, *, start: int = 0,
+                  committed: np.ndarray | None = None) -> ShadowScan:
+    """Flag the iterations an unordered execution of ``[start, n)``
+    may have computed wrongly.
+
+    ``committed`` marks elements already written by the committed
+    prefix ``[0, start)`` (whose values are final); ``None`` means an
+    empty prefix.  The scan considers only events at iterations
+    ``>= start``.
+    """
+    n, m = log.n, log.n_elements
+    first_write = np.full(m, n, dtype=np.int64)
+    max_write = np.full(m, -1, dtype=np.int64)
+    min_read = np.full(m, n, dtype=np.int64)
+
+    wmask = log.write_it >= start
+    w_it = log.write_it[wmask] if start > 0 else log.write_it
+    w_el = log.write_el[wmask] if start > 0 else log.write_el
+    if log.identity_writes:
+        # write_el == write_it: each in-range element is its own sole
+        # writer — no scatter reduction needed.
+        first_write[w_el] = w_it
+        max_write[w_el] = w_it
+    elif w_el.size:
+        np.minimum.at(first_write, w_el, w_it)
+        np.maximum.at(max_write, w_el, w_it)
+
+    rmask = log.read_it >= start
+    r_it = log.read_it[rmask] if start > 0 else log.read_it
+    r_el = log.read_el[rmask] if start > 0 else log.read_el
+    if r_el.size:
+        np.minimum.at(min_read, r_el, r_it)
+
+    violated = np.zeros(n, dtype=bool)
+    if r_it.size:
+        bad = first_write[r_el] < r_it            # stale read
+        if committed is not None:
+            bad |= committed[r_el] & (max_write[r_el] > r_it)
+        violated[r_it[bad]] = True
+    if w_it.size and not log.identity_writes:
+        violated[w_it[first_write[w_el] < w_it]] = True   # WAW
+
+    multi = (max_write >= 0) & (first_write < max_write)
+    return ShadowScan(violated=violated, first_write=first_write,
+                      max_write=max_write, min_read=min_read,
+                      multi_writer=multi)
+
+
+# ----------------------------------------------------------------------
+# Repair-set closure
+# ----------------------------------------------------------------------
+
+#: Closure rounds before giving up on a sparse repair set and falling
+#: back to a contiguous suffix (degenerate element-sharing chains).
+_CLOSURE_CAP = 50
+
+
+def repair_set(log: AccessLog, scan: ShadowScan) -> np.ndarray:
+    """The iterations that must be restored and re-executed serially.
+
+    Starts from the violated set and closes it under "writes an
+    element a member also writes": a correct prefix write of an
+    element that a (wrong) member write clobbered can only be
+    recovered by re-running the prefix writer too.  Identity-write
+    loops (one writer per element) close in zero rounds, so the
+    common case re-executes exactly the violated iterations.
+
+    If the closure chases a pathological element-sharing chain past
+    ``_CLOSURE_CAP`` rounds, the result degrades to the contiguous
+    suffix ``[v*, n)`` where ``v*`` is the *clean cut* — the largest
+    point at or below the first violation that no element's writer
+    set straddles — which is always sound.
+    """
+    repair = scan.violated.copy()
+    if not repair.any():
+        return repair
+    if log.identity_writes:
+        return repair
+    w_it, w_el = log.write_it, log.write_el
+    elem = np.zeros(log.n_elements, dtype=bool)
+    for _ in range(_CLOSURE_CAP):
+        elem[:] = False
+        elem[w_el[repair[w_it]]] = True
+        add = elem[w_el] & ~repair[w_it]
+        if not add.any():
+            return repair
+        repair[w_it[add]] = True
+    # Degenerate chain: contiguous-suffix fallback at the clean cut.
+    v = clean_cut(scan, int(np.argmax(repair)), log.n)
+    repair[v:] = True
+    return repair
+
+
+def clean_cut(scan: ShadowScan, v0: int, n: int) -> int:
+    """Largest ``v <= v0`` that no element's writer interval straddles.
+
+    A suffix re-execution from ``v`` is sound exactly when no element
+    has writers both below and at-or-above ``v``; multi-writer
+    elements forbid the open-closed interval ``(first_write,
+    max_write]``.  Merges the forbidden intervals and steps ``v0``
+    down to the start of the component containing it, if any.
+    """
+    multi = scan.multi_writer
+    if not multi.any():
+        return v0
+    s = scan.first_write[multi]
+    e = scan.max_write[multi]
+    order = np.argsort(s, kind="stable")
+    s, e = s[order], np.maximum.accumulate(e[order])
+    new_comp = np.empty(s.shape[0], dtype=bool)
+    new_comp[0] = True
+    if s.shape[0] > 1:
+        new_comp[1:] = s[1:] > e[:-1]
+    starts = s[new_comp]
+    last = np.nonzero(new_comp)[0]
+    ends = e[np.append(last[1:] - 1, s.shape[0] - 1)]
+    j = int(np.searchsorted(starts, v0, side="left")) - 1
+    if j >= 0 and ends[j] >= v0:
+        return int(starts[j])
+    return v0

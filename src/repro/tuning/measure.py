@@ -23,6 +23,7 @@ import numpy as np
 
 from ..core.dependence import DependenceGraph
 from ..errors import ReproError
+from ..runtime.registry import executor_registry
 from ..util.frontier import counts_to_indptr
 from .space import CandidateSpec
 
@@ -78,7 +79,18 @@ def simulate_spec(runtime, deps, spec: CandidateSpec) -> tuple[float, str | None
     source.  Returns ``(makespan, error-or-None)``.
     """
     try:
-        loop = runtime.compile(deps, **spec.compile_kwargs())
+        meta = (executor_registry.metadata(spec.executor)
+                if spec.executor in executor_registry else {})
+        if meta.get("speculative"):
+            # The no-inspection arm: speculative candidates compile
+            # through the fast path (no wavefront sweep even during
+            # the search) and are scored by the same exact simulation
+            # — whose makespan includes the serial repair of every
+            # conflict, so high-conflict workloads price themselves
+            # out of the arbitration naturally.
+            loop = runtime.compile(deps, strategy="speculative")
+        else:
+            loop = runtime.compile(deps, **spec.compile_kwargs())
         return float(loop.simulate().total_time), None
     except ReproError as exc:
         return float("inf"), f"{type(exc).__name__}: {exc}"

@@ -136,11 +136,16 @@ def enumerate_space(
             out.append(spec)
 
     for executor in executors:
-        override = executor_registry.metadata(executor).get("scheduler_override")
+        emeta = executor_registry.metadata(executor)
+        override = emeta.get("scheduler_override")
         if override:
             # The executor forces its scheduler (doacross → identity);
-            # only the initial assignment remains free.
-            for assignment in assignments:
+            # only the initial assignment remains free — unless the
+            # executor pins that too (``fixed_assignment``: the
+            # speculative executor ignores assignments entirely, so it
+            # contributes exactly one candidate, its no-inspection arm).
+            fixed = emeta.get("fixed_assignment")
+            for assignment in (fixed,) if fixed else assignments:
                 add(CandidateSpec(executor, override, assignment))
             continue
         for scheduler in schedulers:

@@ -1,0 +1,408 @@
+"""Tests for :mod:`repro.speculate` — optimistic DOALL execution.
+
+The shadow-scan detection against the pure-Python oracle, the
+adversarial workloads of the LRPD literature (all-conflict chains,
+zero-conflict DOALLs, duplicate writes), checkpoint/restore
+idempotence, the adaptive inspector fallback with its persisted
+verdict, seeded reproducibility, and the registry / tuner / backend
+integration seams.
+"""
+
+import numpy as np
+import pytest
+
+from repro import LoopProgram, Runtime
+from repro.core.executor import (
+    SerialExecutor,
+    SimpleLoopKernel,
+    TriangularSolveKernel,
+)
+from repro.core.reference import speculation_violations
+from repro.errors import ValidationError
+from repro.runtime.registry import backend_registry, executor_registry
+from repro.sparse.build import random_lower_triangular
+from repro.speculate import (
+    FALLBACK_THRESHOLD,
+    AccessLog,
+    ConflictReport,
+    SpeculativeExecutor,
+    clean_cut,
+    repair_set,
+    scan_accesses,
+    speculation_key,
+)
+from repro.tuning import enumerate_space
+
+
+def sparse_conflict_ia(n, num_conflicts, *, seed=0):
+    """Mostly-forward indirection with ``num_conflicts`` backward refs.
+
+    Forward (``ia[i] >= i``) references read ``xold`` and never
+    conflict; each backward reference makes exactly one iteration read
+    another's write.
+    """
+    rng = np.random.default_rng(seed)
+    ia = np.arange(n)
+    hot = rng.choice(np.arange(1, n), size=num_conflicts, replace=False)
+    for i in hot:
+        ia[i] = rng.integers(0, i)
+    return ia
+
+
+def serial_simple(ia, x0, b):
+    return SerialExecutor().run(SimpleLoopKernel(x0, b, ia))
+
+
+class TestShadowScan:
+    def test_oracle_agreement_random(self):
+        rng = np.random.default_rng(42)
+        for _ in range(30):
+            n, m, e = 50, 120, 30
+            r_it = rng.integers(0, n, m).astype(np.int64)
+            r_el = rng.integers(0, e, m).astype(np.int64)
+            w_it = rng.integers(0, n, m).astype(np.int64)
+            w_el = rng.integers(0, e, m).astype(np.int64)
+            committed = rng.random(e) < 0.25
+            log = AccessLog(n=n, n_elements=e, read_it=r_it, read_el=r_el,
+                            write_it=w_it, write_el=w_el)
+            scan = scan_accesses(log, committed=committed)
+            oracle = speculation_violations(
+                n, r_it, r_el, w_it, w_el, committed=committed)
+            assert np.array_equal(scan.violated, oracle)
+
+    def test_chain_all_violated_but_head(self):
+        # i reads element i-1 which i-1 writes: every reader is stale.
+        n = 16
+        log = AccessLog.from_dependences(
+            LoopProgram.from_indirection(
+                np.maximum(np.arange(n) - 1, 0), x=np.ones(n), b=np.ones(n)
+            ).dependence_graph())
+        scan = scan_accesses(log)
+        assert scan.num_violated == n - 1
+        assert not scan.violated[0]
+
+    def test_waw_detected(self):
+        # Two iterations write the same element; no reads at all.
+        log = AccessLog(n=4, n_elements=4,
+                        read_it=np.empty(0, np.int64),
+                        read_el=np.empty(0, np.int64),
+                        write_it=np.array([0, 1, 2, 3], np.int64),
+                        write_el=np.array([0, 1, 1, 3], np.int64))
+        scan = scan_accesses(log)
+        assert scan.violated.tolist() == [False, False, True, False]
+        assert scan.multi_writer.any()
+
+    def test_repair_set_closure_includes_cowriters(self):
+        # Iteration 2 is violated and shares element 1 with iteration 1,
+        # so 1 joins the repair set (its element gets restored).
+        log = AccessLog(n=4, n_elements=4,
+                        read_it=np.empty(0, np.int64),
+                        read_el=np.empty(0, np.int64),
+                        write_it=np.array([0, 1, 2, 3], np.int64),
+                        write_el=np.array([0, 1, 1, 3], np.int64))
+        repair = repair_set(log, scan_accesses(log))
+        assert repair.tolist() == [False, True, True, False]
+
+    def test_clean_cut_respects_straddling_writers(self):
+        scan = scan_accesses(AccessLog(
+            n=6, n_elements=6,
+            read_it=np.array([4], np.int64), read_el=np.array([1], np.int64),
+            write_it=np.array([1, 3, 4], np.int64),
+            write_el=np.array([1, 1, 4], np.int64)))
+        # Iterations 3 and 4 are violated (WAW on 1, stale read of 1);
+        # the writer interval (1, 3] straddles any cut in (1, 3].
+        v0 = int(np.argmax(scan.violated))
+        cut = clean_cut(scan, v0, 6)
+        assert cut <= 1
+
+
+class TestSpeculativeExecutor:
+    def run_pair(self, ia, n, *, seed=7, nproc=4):
+        rng = np.random.default_rng(3)
+        x0, b = rng.random(n), rng.random(n)
+        kernel = SimpleLoopKernel(x0, b, ia)
+        log = AccessLog.from_dependences(kernel.dependence_graph())
+        ex = SpeculativeExecutor(log, nproc, seed=seed)
+        got = ex.run(kernel)
+        want = serial_simple(ia, x0, b)
+        return got, want, ex
+
+    def test_zero_conflict_single_attempt(self):
+        n = 200
+        got, want, ex = self.run_pair(np.arange(n), n)
+        assert np.array_equal(got, want)
+        rep = ex.last_conflicts
+        assert rep.attempts == 1
+        assert rep.conflict_rate == 0.0
+        assert rep.re_executed == 0
+        assert rep.first_violation is None
+
+    def test_all_conflict_chain_bitwise_serial(self):
+        n = 64
+        ia = np.maximum(np.arange(n) - 1, 0)
+        got, want, ex = self.run_pair(ia, n)
+        assert np.array_equal(got, want)
+        rep = ex.last_conflicts
+        assert rep.attempts == 2
+        assert rep.conflict_rate == (n - 1) / n
+        assert rep.conflict_rate >= FALLBACK_THRESHOLD
+
+    def test_sparse_conflicts_repair_only_the_closure(self):
+        n = 500
+        ia = sparse_conflict_ia(n, 4, seed=11)
+        got, want, ex = self.run_pair(ia, n)
+        assert np.array_equal(got, want)
+        rep = ex.last_conflicts
+        assert rep.violated == 4
+        # Identity-writes loops close in zero rounds: repair == violated.
+        assert rep.re_executed == 4
+        assert rep.committed_optimistically == n - 4
+
+    def test_duplicate_writes_within_one_chunk(self):
+        # A scatter loop where two iterations of the same chunk write
+        # one element — WAW must be caught even though chunk batches
+        # run in index order internally.
+        n, e = 8, 4
+        hits = np.array([0, 1, 1, 2, 3, 3, 3, 2])
+        adds = np.arange(1.0, n + 1.0)
+        acc = np.zeros(e)
+
+        from repro.core.executor import GenericLoopKernel
+
+        def setup():
+            acc[:] = 0.0
+            return acc
+
+        def body(i):
+            acc[hits[i]] = acc[hits[i]] * 0.5 + adds[i]
+
+        kernel = GenericLoopKernel(n, body, setup=setup)
+        log = AccessLog(
+            n=n, n_elements=e,
+            read_it=np.arange(n, dtype=np.int64),
+            read_el=hits.astype(np.int64),
+            write_it=np.arange(n, dtype=np.int64),
+            write_el=hits.astype(np.int64))
+        scan = scan_accesses(log)
+        # Every later writer of a multiply-written element is violated.
+        assert scan.multi_writer.any()
+        assert scan.violated[2] and scan.violated[5] and scan.violated[6]
+        ex = SpeculativeExecutor(log, 2, seed=1, chunks_per_proc=1)
+        got = ex.run(kernel).copy()
+        want = SerialExecutor().run(
+            GenericLoopKernel(n, body, setup=setup)).copy()
+        assert np.array_equal(got, want)
+
+    def test_checkpoint_restore_idempotent(self):
+        # Repeated misspeculating runs of the same executor/kernel must
+        # give identical results — restore leaves no residue.
+        n = 120
+        ia = sparse_conflict_ia(n, 10, seed=5)
+        rng = np.random.default_rng(9)
+        x0, b = rng.random(n), rng.random(n)
+        kernel = SimpleLoopKernel(x0, b, ia)
+        log = AccessLog.from_dependences(kernel.dependence_graph())
+        ex = SpeculativeExecutor(log, 4, seed=2)
+        first = ex.run(kernel).copy()
+        for _ in range(3):
+            assert np.array_equal(ex.run(kernel), first)
+        assert np.array_equal(first, serial_simple(ia, x0, b))
+
+    def test_seeded_chunk_order(self):
+        log = AccessLog.from_dependences(
+            LoopProgram.from_indirection(
+                np.arange(100), x=np.ones(100), b=np.ones(100)
+            ).dependence_graph())
+        a = SpeculativeExecutor(log, 4, seed=5).plan().chunk_bounds
+        b = SpeculativeExecutor(log, 4, seed=5).plan().chunk_bounds
+        c = SpeculativeExecutor(log, 4, seed=6).plan().chunk_bounds
+        assert a == b
+        assert a != c
+        assert sorted(a) == sorted(c)  # same chunks, different order
+
+    def test_simulate_matches_plan(self):
+        n = 300
+        ia = sparse_conflict_ia(n, 3, seed=4)
+        log = AccessLog.from_dependences(
+            LoopProgram.from_indirection(
+                ia, x=np.ones(n), b=np.ones(n)).dependence_graph())
+        ex = SpeculativeExecutor(log, 4, seed=0)
+        sim = ex.simulate()
+        assert sim.mode == "speculative"
+        assert sim.num_phases == 2
+        assert sim.total_time > 0
+        assert sim.seq_time > 0
+        clean = SpeculativeExecutor(
+            AccessLog.from_dependences(LoopProgram.from_indirection(
+                np.arange(n), x=np.ones(n), b=np.ones(n)
+            ).dependence_graph()), 4, seed=0)
+        assert clean.simulate().num_phases == 1
+
+    def test_threads_protocol_rejected(self):
+        log = AccessLog(n=2, n_elements=2,
+                        read_it=np.empty(0, np.int64),
+                        read_el=np.empty(0, np.int64),
+                        write_it=np.array([0, 1], np.int64),
+                        write_el=np.array([0, 1], np.int64))
+        with pytest.raises(ValidationError, match="threads"):
+            SpeculativeExecutor(log, 2).run_threaded(None)
+
+
+class TestRuntimeIntegration:
+    def make_prog(self, ia, seed=3):
+        n = len(ia)
+        rng = np.random.default_rng(seed)
+        return LoopProgram.from_indirection(
+            np.asarray(ia), x=rng.random(n), b=rng.random(n))
+
+    def test_strategy_speculative_low_conflict(self):
+        n = 400
+        ia = sparse_conflict_ia(n, 2, seed=8)
+        prog = self.make_prog(ia)
+        rt = Runtime(nproc=4, tune_seed=1)
+        loop = rt.compile(prog, strategy="speculative")
+        report = loop()
+        assert isinstance(report.speculation, ConflictReport)
+        assert not report.speculation.fell_back
+        assert report.executor == "speculative"
+        want = serial_simple(np.asarray(ia), prog.data["x"], prog.data["b"])
+        assert np.array_equal(report.x, want)
+
+    def test_fallback_on_high_conflict(self, tmp_path):
+        n = 50
+        ia = np.maximum(np.arange(n) - 1, 0)
+        prog = self.make_prog(ia)
+        rt = Runtime(nproc=4, tune_seed=1, tuning_dir=tmp_path)
+        loop = rt.compile(prog, strategy="speculative")
+        r1 = loop()
+        assert r1.speculation.fell_back
+        assert r1.speculation.conflict_rate >= FALLBACK_THRESHOLD
+        want = serial_simple(ia, prog.data["x"], prog.data["b"])
+        assert np.array_equal(r1.x, want)
+        # Future calls route through the classic pipeline.
+        r2 = loop()
+        assert r2.speculation is None
+        assert r2.executor != "speculative"
+        assert np.array_equal(r2.x, want)
+
+    def test_fallback_verdict_persists_across_sessions(self, tmp_path):
+        n = 50
+        ia = np.maximum(np.arange(n) - 1, 0)
+        prog = self.make_prog(ia)
+        rt1 = Runtime(nproc=4, tune_seed=1, tuning_dir=tmp_path)
+        rt1.compile(prog, strategy="speculative")()
+        # A fresh session consults the persisted verdict and compiles
+        # the classic pipeline outright — no speculative attempt.
+        rt2 = Runtime(nproc=4, tune_seed=1, tuning_dir=tmp_path)
+        loop2 = rt2.compile(prog, strategy="speculative")
+        r = loop2()
+        assert r.executor != "speculative"
+        assert r.speculation is None
+        want = serial_simple(ia, prog.data["x"], prog.data["b"])
+        assert np.array_equal(r.x, want)
+
+    def test_rebind_keeps_plan(self):
+        n = 300
+        ia = sparse_conflict_ia(n, 2, seed=2)
+        prog = self.make_prog(ia)
+        rt = Runtime(nproc=4, tune_seed=1)
+        loop = rt.compile(prog, strategy="speculative")
+        loop()
+        plan_before = loop.executor.plan()
+        rng = np.random.default_rng(77)
+        x2 = rng.random(n)
+        loop.rebind(x=x2)
+        r = loop()
+        assert loop.executor.plan() is plan_before
+        want = serial_simple(ia, x2, prog.data["b"])
+        assert np.array_equal(r.x, want)
+
+    def test_speculative_backend(self):
+        n = 100
+        prog = self.make_prog(np.arange(n))
+        rt = Runtime(nproc=4)
+        loop = rt.compile(prog, strategy="speculative")
+        r = loop(backend="speculative")
+        assert r.backend == "speculative"
+        assert r.speculation.attempts == 1
+
+    def test_classic_loop_rejected_by_speculative_backend(self):
+        n = 40
+        prog = self.make_prog(np.arange(n))
+        rt = Runtime(nproc=4)
+        loop = rt.compile(prog)  # classic pipeline
+        with pytest.raises(ValidationError):
+            loop(backend="speculative")
+
+    def test_tuner_space_has_one_speculative_candidate(self):
+        specs = [s for s in enumerate_space(1000, 8)
+                 if s.executor == "speculative"]
+        assert len(specs) == 1
+        assert specs[0].scheduler == "identity"
+        assert specs[0].assignment == "wrapped"
+        assert "speculative" in executor_registry
+        assert executor_registry.metadata("speculative").get("speculative")
+        assert "speculative" in backend_registry
+
+    def test_strategy_auto_sees_speculative(self):
+        n = 300
+        ia = sparse_conflict_ia(n, 1, seed=6)
+        prog = self.make_prog(ia)
+        rt = Runtime(nproc=4, tune_seed=0)
+        loop = rt.compile(prog, strategy="auto")
+        r = loop()
+        want = serial_simple(ia, prog.data["x"], prog.data["b"])
+        assert np.array_equal(r.x, want)
+
+    def test_speculation_key_stable(self):
+        n = 60
+        log = AccessLog.from_dependences(
+            self.make_prog(np.arange(n)).dependence_graph())
+        rt = Runtime(nproc=4)
+        k1 = speculation_key(log, 4, rt.costs)
+        k2 = speculation_key(log, 4, rt.costs)
+        k3 = speculation_key(log, 8, rt.costs)
+        assert k1 == k2
+        assert k1 != k3
+
+
+class TestFromCsrRebind:
+    def test_value_rebind_matches_rebuilt_matrix(self):
+        t = random_lower_triangular(60, avg_off_diag=2.5, seed=3)
+        b = np.linspace(1.0, 2.0, 60)
+        prog = LoopProgram.from_csr(t, b=b)
+        assert "a" in prog.data  # CSR values are a named data entry
+        rt = Runtime(nproc=4, tune_seed=11)
+        loop = rt.compile(prog, strategy="speculative")
+        assert np.array_equal(
+            loop().x, SerialExecutor().run(TriangularSolveKernel(t, b)))
+        # ILU-style refactorization: same structure, new values.
+        new_vals = t.data * 1.7 + 0.1
+        loop2 = loop.rebind(a=new_vals)
+        assert loop2 is loop  # pure data swap, no recompile
+        t2 = type(t)(t.indptr, t.indices, new_vals, t.shape)
+        assert np.array_equal(
+            loop2().x, SerialExecutor().run(TriangularSolveKernel(t2, b)))
+
+    def test_diag_rebind(self):
+        t = random_lower_triangular(40, avg_off_diag=2.0, seed=9)
+        b = np.ones(40)
+        diag = t.diagonal()
+        prog = LoopProgram.from_csr(t, b=b, diag=diag)
+        rt = Runtime(nproc=4)
+        loop = rt.compile(prog, strategy="speculative")
+        loop.rebind(diag=diag * 2.0)
+        want = SerialExecutor().run(
+            TriangularSolveKernel(t, b, diag=diag * 2.0))
+        assert np.array_equal(loop().x, want)
+
+    def test_classic_pipeline_also_rebinds_values(self):
+        t = random_lower_triangular(50, avg_off_diag=2.0, seed=4)
+        b = np.linspace(0.5, 1.5, 50)
+        rt = Runtime(nproc=4)
+        loop = rt.compile(LoopProgram.from_csr(t, b=b))
+        new_vals = t.data + 0.25
+        loop.rebind(a=new_vals)
+        t2 = type(t)(t.indptr, t.indices, new_vals, t.shape)
+        assert np.array_equal(
+            loop().x, SerialExecutor().run(TriangularSolveKernel(t2, b)))
