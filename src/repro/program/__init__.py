@@ -11,16 +11,39 @@ the paper's amortisation argument made first-class.
 """
 
 from .binding import BoundLoop, LoopProgram
-from .descriptors import At, ResolvedAccess
-from .extraction import extract_dependences
-from .recording import RecordedKernel, record_trace
+from .descriptors import At, ResolvedAccess, Statement
+from .extraction import extract_dependences, extract_statement_dependences
+from .recording import RecordedKernel, StatementReplayKernel, record_trace
+from .transform import (
+    IterationMap,
+    MappedKernel,
+    Stage,
+    TransformedLoop,
+    Variant,
+    enumerate_variants,
+    fission,
+    fuse,
+    skew,
+)
 
 __all__ = [
     "At",
     "BoundLoop",
+    "IterationMap",
     "LoopProgram",
+    "MappedKernel",
     "RecordedKernel",
     "ResolvedAccess",
+    "Stage",
+    "Statement",
+    "StatementReplayKernel",
+    "TransformedLoop",
+    "Variant",
+    "enumerate_variants",
     "extract_dependences",
+    "extract_statement_dependences",
+    "fission",
+    "fuse",
     "record_trace",
+    "skew",
 ]

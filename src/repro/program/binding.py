@@ -31,9 +31,9 @@ import numpy as np
 
 from ..errors import ValidationError
 from ..runtime.session import CompiledLoop
-from .descriptors import At
-from .extraction import extract_dependences
-from .recording import RecordedKernel, record_trace
+from .descriptors import At, Statement
+from .extraction import extract_dependences, extract_statement_dependences
+from .recording import RecordedKernel, StatementReplayKernel, record_trace
 
 __all__ = ["LoopProgram", "BoundLoop"]
 
@@ -59,6 +59,20 @@ class LoopProgram:
         Named arrays the kernel factory (and named indices) bind to.
     name:
         Optional label for reports and reprs.
+    statements:
+        Alternative to flat ``reads``/``writes``: a sequence of
+        :class:`~repro.program.descriptors.Statement` objects giving
+        the body statement-level structure.  Serial order interleaves
+        statements (every statement of iteration ``i`` precedes every
+        statement of iteration ``i+1``), and the transform layer
+        (:mod:`repro.program.transform`) can fission along statement
+        boundaries.  Statements carrying ``body`` callables make the
+        program executable without an explicit kernel.
+    shape:
+        Optional ``(rows, cols)`` declaring the iteration space as a
+        row-major 2-D grid (``rows * cols == n``); this is what makes
+        the skew transform applicable.  Purely advisory — it never
+        changes the dependence structure.
     """
 
     #: Duck-type marker, so the Runtime recognizes programs without
@@ -66,21 +80,51 @@ class LoopProgram:
     __loop_program__ = True
 
     def __init__(self, n: int, *, reads=(), writes=(), kernel=None,
-                 data=None, name: str | None = None):
+                 data=None, name: str | None = None,
+                 statements=None, shape=None):
         if n < 0:
             raise ValidationError("n must be non-negative")
         self.n = int(n)
-        self.reads = tuple(self._check_descriptor(d) for d in reads)
-        self.writes = tuple(self._check_descriptor(d) for d in writes)
         self.kernel = kernel
         self.data = dict(data or {})
         self.name = name
+        if statements is not None:
+            if reads or writes:
+                raise ValidationError(
+                    "pass either flat reads=/writes= or statements=, "
+                    "not both"
+                )
+            if not statements:
+                raise ValidationError("statements= must not be empty")
+            self.statements = tuple(self._check_statement(s)
+                                    for s in statements)
+            self.reads = tuple(a for st in self.statements
+                               for a in st.reads)
+            self.writes = tuple(a for st in self.statements
+                                for a in st.writes)
+        else:
+            self.reads = tuple(self._check_descriptor(d) for d in reads)
+            self.writes = tuple(self._check_descriptor(d) for d in writes)
+            self.statements = (Statement(reads=self.reads,
+                                         writes=self.writes),)
+        self.shape = self._check_shape(shape)
         # Validate every descriptor eagerly: mismatched lengths and
         # dangling index names must fail at declaration, not first use.
-        self._resolved_reads = [d.resolve(self.n, self.data) for d in self.reads]
-        self._resolved_writes = [d.resolve(self.n, self.data) for d in self.writes]
+        self._resolve_all(self.data)
         self._dep = None
+        self._stmt_adj = None
         self._hash: str | None = None
+
+    def _resolve_all(self, data) -> None:
+        self._stmt_resolved = [
+            ([a.resolve(self.n, data) for a in st.reads],
+             [a.resolve(self.n, data) for a in st.writes])
+            for st in self.statements
+        ]
+        self._resolved_reads = [a for rr, _ in self._stmt_resolved
+                                for a in rr]
+        self._resolved_writes = [a for _, ww in self._stmt_resolved
+                                 for a in ww]
 
     @staticmethod
     def _check_descriptor(d) -> At:
@@ -91,27 +135,92 @@ class LoopProgram:
             )
         return d
 
+    @staticmethod
+    def _check_statement(s) -> Statement:
+        if not isinstance(s, Statement):
+            raise ValidationError(
+                f"statements entries must be Statement instances, got "
+                f"{type(s).__name__}"
+            )
+        return s
+
+    def _check_shape(self, shape):
+        if shape is None:
+            return None
+        shape = tuple(int(v) for v in shape)
+        if len(shape) != 2 or shape[0] <= 0 or shape[1] <= 0:
+            raise ValidationError(
+                "shape must be a (rows, cols) pair of positive ints"
+            )
+        if shape[0] * shape[1] != self.n:
+            raise ValidationError(
+                f"shape {shape} does not cover n={self.n} iterations"
+            )
+        return shape
+
     # ------------------------------------------------------------------
     # Derived structure
     # ------------------------------------------------------------------
     def dependence_graph(self):
         """The extracted dependence graph (cached per structure)."""
         if self._dep is None:
-            reads: dict[str, list] = {}
-            writes: dict[str, list] = {}
-            for acc in self._resolved_reads:
-                reads.setdefault(acc.array, []).append(acc)
-            for acc in self._resolved_writes:
-                writes.setdefault(acc.array, []).append(acc)
-            self._dep = extract_dependences(self.n, reads, writes)
+            if len(self.statements) == 1:
+                reads: dict[str, list] = {}
+                writes: dict[str, list] = {}
+                for acc in self._resolved_reads:
+                    reads.setdefault(acc.array, []).append(acc)
+                for acc in self._resolved_writes:
+                    writes.setdefault(acc.array, []).append(acc)
+                self._dep = extract_dependences(self.n, reads, writes)
+                self._stmt_adj = np.zeros((1, 1), dtype=bool)
+            else:
+                self._dep, self._stmt_adj = extract_statement_dependences(
+                    self.n, self._stmt_resolved)
         return self._dep
+
+    def statement_adjacency(self) -> np.ndarray:
+        """The ``S × S`` statement conflict adjacency (see
+        :func:`~repro.program.extraction.extract_statement_dependences`).
+        ``adj[a, b]`` True means statement ``a`` must not be moved
+        wholly after statement ``b`` — the relation whose cycles bound
+        what fission can split."""
+        if self._stmt_adj is None:
+            self.dependence_graph()
+        return self._stmt_adj
+
+    @property
+    def num_statements(self) -> int:
+        return len(self.statements)
+
+    def unit_work(self, costs) -> np.ndarray:
+        """Per-iteration work (model µs) priced from declared accesses.
+
+        ``t_work_base`` per statement instance plus ``t_work_per_dep``
+        per declared read — the access-level analogue of the
+        simulator's dependence-count pricing.  The transform tuner uses
+        this so *every variant of one program is priced from the same
+        source*: dependence counts alone would let a fissioned stage
+        hide the work of the statements it dropped.
+        """
+        w = np.zeros(self.n, dtype=np.float64)
+        for rr, _ in self._stmt_resolved:
+            w += costs.t_work_base
+            for acc in rr:
+                if acc.identity:
+                    w += costs.t_work_per_dep
+                else:
+                    w += costs.t_work_per_dep * np.diff(acc.indptr)
+        return w
 
     def structure_hash(self) -> str:
         """Digest of everything the dependence extraction consumes.
 
         Two programs with equal hashes have identical dependence
         structure; the hash is what :meth:`BoundLoop.rebind` checks
-        before deciding a recompile is needed.
+        before deciding a recompile is needed.  Single-statement
+        programs hash exactly as before the statement layer existed;
+        multi-statement programs additionally fold in the statement
+        boundaries, which change the interleaved-order extraction.
         """
         if self._hash is None:
             h = hashlib.blake2b(digest_size=16)
@@ -121,6 +230,10 @@ class LoopProgram:
                 for acc in accs:
                     h.update(f"|{kind}:{acc.array}:".encode())
                     h.update(acc.structure_bytes())
+            if len(self.statements) > 1:
+                counts = ",".join(f"{len(rr)}:{len(ww)}"
+                                  for rr, ww in self._stmt_resolved)
+                h.update(f"|stmts[{counts}]".encode())
             self._hash = h.hexdigest()
         return self._hash
 
@@ -158,12 +271,27 @@ class LoopProgram:
                 and not hasattr(self.kernel, "execute_index"))
 
     def make_kernel(self):
-        """Instantiate the kernel against the currently bound data."""
-        if self.kernel is None:
+        """Instantiate the kernel against the currently bound data.
+
+        An explicit ``kernel`` always wins; otherwise statements whose
+        ``body`` callables are all present replay through a
+        :class:`~repro.program.recording.StatementReplayKernel`.
+        """
+        if self.kernel is not None:
+            if self._kernel_is_factory():
+                return self.kernel(**self.data)
+            return self.kernel
+        bodied = sum(1 for st in self.statements if st.body is not None)
+        if bodied == 0:
             return None
-        if self._kernel_is_factory():
-            return self.kernel(**self.data)
-        return self.kernel
+        if bodied != len(self.statements):
+            raise ValidationError(
+                "cannot execute a program with only some statement "
+                "bodies bound; give every statement a body (or bind an "
+                "explicit kernel)"
+            )
+        return StatementReplayKernel(self.n, self.statements,
+                                     self._stmt_resolved, self.data)
 
     def with_data(self, **arrays) -> "LoopProgram":
         """A new program with some data entries replaced.
@@ -187,14 +315,13 @@ class LoopProgram:
         fresh = copy.copy(self)
         fresh.data = data
         if set(arrays) & self.structural_names():
-            fresh._resolved_reads = [d.resolve(self.n, data)
-                                     for d in self.reads]
-            fresh._resolved_writes = [d.resolve(self.n, data)
-                                      for d in self.writes]
+            fresh._resolve_all(data)
             fresh._dep = None
+            fresh._stmt_adj = None
             fresh._hash = None
             if fresh.structure_hash() == self.structure_hash():
                 fresh._dep = self._dep
+                fresh._stmt_adj = self._stmt_adj
         # else: no index source touched — the shallow copy already
         # shares the resolved structure, graph and hash wholesale.
         return fresh
@@ -303,7 +430,7 @@ class LoopProgram:
 
     @classmethod
     def record(cls, n: int, body, *, name: str | None = None,
-               **arrays) -> "LoopProgram":
+               shape=None, **arrays) -> "LoopProgram":
         """Trace-record ``body(i, arrays)`` into a program.
 
         The body runs once per iteration over recording proxies; every
@@ -312,7 +439,21 @@ class LoopProgram:
         renaming.  Bodies whose access pattern depends on array
         *values* (data-dependent branches, computed subscripts) raise
         :class:`~repro.errors.ValidationError` during recording.
+
+        Passing a *sequence* of bodies records each into its own
+        :class:`~repro.program.descriptors.Statement` — a
+        multi-statement program (serial order interleaved) that the
+        transform layer can fission.
         """
+        if not callable(body):
+            statements = []
+            for k, b in enumerate(body):
+                trace = record_trace(n, b, arrays.keys())
+                reads, writes = trace.descriptors()
+                statements.append(Statement(reads=reads, writes=writes,
+                                            body=b, name=f"s{k}"))
+            return cls(int(n), statements=statements, data=arrays,
+                       name=name or "recorded", shape=shape)
         trace = record_trace(n, body, arrays.keys())
         reads, writes = trace.descriptors()
 
@@ -320,7 +461,7 @@ class LoopProgram:
             return RecordedKernel(n, body, trace, data)
 
         return cls(int(n), reads=reads, writes=writes, kernel=factory,
-                   data=arrays, name=name or "recorded")
+                   data=arrays, name=name or "recorded", shape=shape)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         label = f" {self.name!r}" if self.name else ""

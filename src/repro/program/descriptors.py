@@ -32,7 +32,7 @@ from ..errors import ValidationError
 from ..util.frontier import counts_to_indptr
 from ..util.validation import as_int_array
 
-__all__ = ["At", "ResolvedAccess"]
+__all__ = ["At", "ResolvedAccess", "Statement"]
 
 
 @dataclass(frozen=True)
@@ -179,3 +179,46 @@ class At:
         if isinstance(self.index, str):
             return f"At({self.array!r}, index={self.index!r})"
         return f"At({self.array!r}, index=<{type(self.index).__name__}>)"
+
+
+class Statement:
+    """One statement of a multi-statement loop body.
+
+    A :class:`~repro.program.binding.LoopProgram` built from statements
+    executes every statement of iteration ``i`` (in declaration order)
+    before any statement of iteration ``i+1`` — the serial order is the
+    interleaved one, exactly as if the statements were lines of a
+    single loop body.  Each statement declares its own reads and writes
+    with :class:`At` descriptors; ``body(i, arrays)`` is the optional
+    executable form (same contract as :meth:`LoopProgram.record
+    <repro.program.binding.LoopProgram.record>` bodies).
+
+    Statements are what the transform layer
+    (:mod:`repro.program.transform`) schedules: fission splits a
+    program along statement dependence-cycle boundaries, fusion
+    concatenates the statement lists of two programs.
+    """
+
+    __slots__ = ("reads", "writes", "body", "name")
+
+    def __init__(self, reads=(), writes=(), *, body=None, name=None):
+        self.reads = tuple(self._check(a, "read") for a in reads)
+        self.writes = tuple(self._check(a, "write") for a in writes)
+        if body is not None and not callable(body):
+            raise ValidationError("Statement body must be callable or None")
+        self.body = body
+        self.name = name
+
+    @staticmethod
+    def _check(acc, kind: str) -> At:
+        if not isinstance(acc, At):
+            raise ValidationError(
+                f"Statement {kind} descriptors must be At instances, "
+                f"got {type(acc).__name__}"
+            )
+        return acc
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        tag = f" {self.name!r}" if self.name else ""
+        return (f"Statement({tag} reads={list(self.reads)!r}, "
+                f"writes={list(self.writes)!r})")

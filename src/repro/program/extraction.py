@@ -35,7 +35,7 @@ from ..core.dependence import DependenceGraph
 from ..util.frontier import counts_to_indptr, rows_from_indptr
 from .descriptors import ResolvedAccess
 
-__all__ = ["extract_dependences"]
+__all__ = ["extract_dependences", "extract_statement_dependences"]
 
 
 def _event_arrays(n: int, accesses: list[ResolvedAccess]):
@@ -170,3 +170,148 @@ def extract_dependences(
         dst, src = uniq // n, uniq % n
     indptr = counts_to_indptr(np.bincount(dst, minlength=n))
     return DependenceGraph(indptr, src, n, check_acyclic=False)
+
+
+# ----------------------------------------------------------------------
+# Statement-level extraction
+# ----------------------------------------------------------------------
+
+def _statement_events(n, num_stmts, stmt_accesses, which):
+    """Per-array flattened (position, element, statement) event arrays.
+
+    Serial position of statement ``s`` at iteration ``i`` is
+    ``i * S + s`` — the interleaved statement order of the original
+    loop.  Returns ``{array: (pos_parts, el_parts, stmt_parts)}``.
+    """
+    out: dict[str, tuple[list, list, list]] = {}
+    for s, accesses in enumerate(stmt_accesses):
+        for acc in accesses[which]:
+            if acc.identity:
+                it = np.arange(n, dtype=np.int64)
+                el = it
+            else:
+                it = rows_from_indptr(acc.indptr)
+                el = acc.indices.astype(np.int64, copy=False)
+            pos_parts, el_parts, stmt_parts = out.setdefault(
+                acc.array, ([], [], []))
+            pos_parts.append(it * np.int64(num_stmts) + s)
+            el_parts.append(el)
+            stmt_parts.append(np.full(el.shape[0], s, dtype=np.int64))
+    return out
+
+
+def _concat_events(parts):
+    pos_parts, el_parts, stmt_parts = parts
+    return (np.concatenate(pos_parts), np.concatenate(el_parts),
+            np.concatenate(stmt_parts))
+
+
+def _minmax_by_stmt(num_stmts, n_el, pos, el, stmt, sentinel):
+    """Per-(statement, element) min and max serial position of events."""
+    lo = np.full((num_stmts, n_el), sentinel, dtype=np.int64)
+    hi = np.full((num_stmts, n_el), -1, dtype=np.int64)
+    flat = stmt * np.int64(n_el) + el
+    np.minimum.at(lo.reshape(-1), flat, pos)
+    np.maximum.at(hi.reshape(-1), flat, pos)
+    return lo, hi
+
+
+def extract_statement_dependences(
+    n: int,
+    stmt_accesses: list,
+) -> tuple[DependenceGraph, np.ndarray]:
+    """Iteration-level graph plus statement adjacency of a statement list.
+
+    ``stmt_accesses`` is a sequence of ``(reads, writes)`` pairs of
+    resolved accesses, one per statement.  Extraction runs over the
+    *serial position* space ``pos = i * S + s`` (statement ``s`` of
+    iteration ``i``), reusing the single-statement passes verbatim,
+    then collapses positions back to iterations.  Edges between
+    statements of the *same* iteration are dropped — intra-iteration
+    statement order is the kernel's own contract, not the scheduler's.
+
+    The second result is the ``S × S`` boolean statement adjacency:
+    ``adj[a, b]`` is True when some access of statement ``a`` conflicts
+    with (same array, same element, at least one write) an access of
+    statement ``b`` at a strictly later serial position — i.e. moving
+    every instance of ``a`` after every instance of ``b`` would break
+    serial semantics.  Unlike the iteration graph, the adjacency keeps
+    anti conflicts of *renamed* reads too: per-iteration renaming
+    protects a read inside one program, but not across a fission cut,
+    so the legality relation must be conservative.
+    """
+    num_stmts = len(stmt_accesses)
+    if num_stmts == 1:
+        reads: dict[str, list[ResolvedAccess]] = {}
+        writes: dict[str, list[ResolvedAccess]] = {}
+        for acc in stmt_accesses[0][0]:
+            reads.setdefault(acc.array, []).append(acc)
+        for acc in stmt_accesses[0][1]:
+            writes.setdefault(acc.array, []).append(acc)
+        return (extract_dependences(n, reads, writes),
+                np.zeros((1, 1), dtype=bool))
+
+    big_n = n * num_stmts
+    read_events = _statement_events(n, num_stmts, stmt_accesses, 0)
+    write_events = _statement_events(n, num_stmts, stmt_accesses, 1)
+
+    dst_parts, src_parts = [], []
+    adj = np.zeros((num_stmts, num_stmts), dtype=bool)
+    for name, w_parts in write_events.items():
+        w_pos, w_el, w_stmt = _concat_events(w_parts)
+        if not w_pos.size:
+            continue
+        if name in read_events:
+            r_pos, r_el, r_stmt = _concat_events(read_events[name])
+        else:
+            r_pos = r_el = r_stmt = np.empty(0, dtype=np.int64)
+
+        # --- iteration-level edges over the position space -------------
+        w_el_s, w_pos_s, w_key, stride = _sorted_writes(big_n, w_pos, w_el)
+        if r_pos.size:
+            d, s, live = _flow_edges_general(r_pos, r_el, w_el_s, w_pos_s,
+                                             w_key, stride)
+            dst_parts.append(d)
+            src_parts.append(s)
+            d, s = _anti_edges(r_pos[live], r_el[live], w_el_s, w_pos_s,
+                               w_key, stride)
+            dst_parts.append(d)
+            src_parts.append(s)
+        d, s = _output_edges(w_el_s, w_pos_s)
+        dst_parts.append(d)
+        src_parts.append(s)
+
+        # --- statement adjacency (conservative, renaming-blind) --------
+        n_el = int(max(w_el.max(initial=-1), r_el.max(initial=-1))) + 1
+        sentinel = np.int64(big_n + 1)
+        min_w, max_w = _minmax_by_stmt(num_stmts, n_el, w_pos, w_el,
+                                       w_stmt, sentinel)
+        if r_pos.size:
+            min_r, max_r = _minmax_by_stmt(num_stmts, n_el, r_pos, r_el,
+                                           r_stmt, sentinel)
+        else:
+            min_r = np.full((num_stmts, n_el), sentinel, dtype=np.int64)
+            max_r = np.full((num_stmts, n_el), -1, dtype=np.int64)
+        for a in range(num_stmts):
+            for b in range(num_stmts):
+                if a == b:
+                    continue
+                before = ((min_w[a] < max_w[b]) | (min_w[a] < max_r[b])
+                          | (min_r[a] < max_w[b]))
+                if before.any():
+                    adj[a, b] = True
+
+    if not dst_parts:
+        dep = DependenceGraph(np.zeros(n + 1, dtype=np.int64),
+                              np.empty(0, dtype=np.int64), n,
+                              check_acyclic=False)
+        return dep, adj
+    dst = np.concatenate(dst_parts) // num_stmts
+    src = np.concatenate(src_parts) // num_stmts
+    keep = dst != src  # intra-iteration order is the kernel's job
+    dst, src = dst[keep], src[keep]
+    if dst.size:
+        uniq = np.unique(dst * np.int64(n) + src)
+        dst, src = uniq // n, uniq % n
+    indptr = counts_to_indptr(np.bincount(dst, minlength=n))
+    return DependenceGraph(indptr, src, n, check_acyclic=False), adj

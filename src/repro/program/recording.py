@@ -31,7 +31,8 @@ from ..errors import ValidationError
 from ..util.frontier import counts_to_indptr, rows_from_indptr
 from .descriptors import At
 
-__all__ = ["record_trace", "RecordedKernel", "RecordedTrace"]
+__all__ = ["record_trace", "RecordedKernel", "RecordedTrace",
+           "StatementReplayKernel"]
 
 
 _CONTROL_FLOW_MSG = (
@@ -320,6 +321,94 @@ class RecordedKernel(LoopKernel):
         for proxy in self._replays:
             proxy._now.clear()
         self._body(i, self._ns)
+
+    def result(self):
+        if len(self.live) == 1:
+            return next(iter(self.live.values()))
+        return dict(self.live)
+
+
+class StatementReplayKernel(LoopKernel):
+    """Replays a multi-statement body list with position-level renaming.
+
+    Iteration ``i`` runs every statement body in declaration order; the
+    renaming granularity is the *serial position* ``i * S + s`` rather
+    than the iteration, so a read sees the live value exactly when its
+    element's earliest writer position precedes the reading position —
+    the statement-interleaved generalization of Figure 4's ``xold``
+    rule, and precisely the semantics the statement-level dependence
+    extraction assumes.  The same kernel therefore serves a fissioned
+    sub-program unmodified: the sub-program's own (shorter) statement
+    list defines its own position space.
+    """
+
+    thread_safe = False
+
+    def __init__(self, n: int, statements, resolved, data: dict):
+        self.n = int(n)
+        self._statements = tuple(statements)
+        self._bodies = tuple(st.body for st in self._statements)
+        self._S = len(self._statements)
+        self._ns = None
+        self._replays: list[_ReplayArray] = []
+        written: dict[str, tuple[list, list]] = {}
+        for s, (_rr, ww) in enumerate(resolved):
+            for acc in ww:
+                if acc.identity:
+                    el = np.arange(self.n, dtype=np.int64)
+                    it = el
+                else:
+                    it = rows_from_indptr(acc.indptr)
+                    el = acc.indices.astype(np.int64, copy=False)
+                els, poss = written.setdefault(acc.array, ([], []))
+                els.append(el)
+                poss.append(it * np.int64(self._S) + s)
+        for name in written:
+            if name not in data:
+                raise ValidationError(
+                    f"program writes array {name!r} but no data was "
+                    f"bound for it; bound entries: {sorted(data)}"
+                )
+        self._data = {k: np.asarray(v) for k, v in data.items()}
+        # element -> [earliest writer position], per written array —
+        # the shape _ReplayArray's renaming check expects.
+        self._writers: dict[str, dict] = {}
+        for name, (els, poss) in written.items():
+            el = np.concatenate(els)
+            pos = np.concatenate(poss)
+            order = np.lexsort((pos, el))
+            el_s, pos_s = el[order], pos[order]
+            first = np.ones(el_s.shape[0], dtype=bool)
+            first[1:] = el_s[1:] != el_s[:-1]
+            self._writers[name] = {
+                int(e): [int(p)]
+                for e, p in zip(el_s[first], pos_s[first])
+            }
+        self.live: dict[str, np.ndarray] = {}
+        self._current = 0
+
+    def start(self) -> None:
+        self.live = {}
+        arrays = {}
+        self._replays = []
+        for name, arr in self._data.items():
+            if name in self._writers:
+                liv = np.array(arr, copy=True)
+                self.live[name] = liv
+                proxy = _ReplayArray(liv, arr, self._writers[name], self)
+                self._replays.append(proxy)
+                arrays[name] = proxy
+            else:
+                arrays[name] = _ReplayArray(arr, None, None, self)
+        self._ns = _Namespace(arrays)
+
+    def execute_index(self, i: int) -> None:
+        base = i * self._S
+        for s, body in enumerate(self._bodies):
+            self._current = base + s
+            for proxy in self._replays:
+                proxy._now.clear()
+            body(i, self._ns)
 
     def result(self):
         if len(self.live) == 1:

@@ -1,0 +1,677 @@
+"""Loop-nest transforms — rewrite the program, then schedule it.
+
+The paper schedules a *fixed* loop at run time; this layer changes the
+loop before the inspector ever sees it.  Every pass consumes a
+:class:`~repro.program.LoopProgram` and emits new programs plus an
+invertible :class:`IterationMap`, so results always land back in the
+caller's arrays and serial semantics are preserved by construction:
+
+* :func:`fission` splits a multi-statement program along the cycles of
+  its statement conflict graph — each strongly connected component
+  becomes an independently schedulable stage, run in condensation
+  order (the loop-fission legality condition);
+* :func:`fuse` concatenates the statement lists of two structurally
+  compatible programs, so one inspection (and one schedule) covers
+  both;
+* :func:`skew` renumbers a 2-D iteration space (``shape=(R, C)``)
+  into anti-diagonal order — the static wavefront transform.  The
+  dependence *graph* is numbering-invariant, but the order-sensitive
+  strategies are not: row-major in-row chains serialize ``doacross``,
+  anti-diagonal order pipelines it.
+
+:func:`enumerate_variants` packages the legal rewrites of one program
+as :class:`Variant` bundles for the tuner, which scores variants ×
+strategies with the same exact simulator and picks the cheapest
+(:meth:`Tuner.tune_program <repro.tuning.tuner.Tuner.tune_program>`).
+:class:`TransformedLoop` is the executable form of a multi-stage
+winner: stage loops run in order, written arrays thread forward, and
+``rebind`` keeps the amortisation story — data swaps never repay the
+inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from ..core.executor import LoopKernel
+from ..errors import ValidationError
+from ..runtime.session import RunReport
+from ..util.timing import Stopwatch
+from .binding import LoopProgram
+from .descriptors import Statement
+
+__all__ = [
+    "IterationMap",
+    "MappedKernel",
+    "Stage",
+    "Variant",
+    "TransformedLoop",
+    "fission",
+    "fuse",
+    "skew",
+    "enumerate_variants",
+]
+
+
+@dataclass(frozen=True)
+class IterationMap:
+    """An invertible renumbering of the iteration space.
+
+    ``forward[k]`` is the original iteration that the transformed
+    program's iteration ``k`` executes.  Being a permutation is what
+    makes every transform reversible — the serial result can always be
+    stated (and checked) in original coordinates.
+    """
+
+    forward: np.ndarray
+
+    def __post_init__(self):
+        fwd = np.asarray(self.forward, dtype=np.int64)
+        object.__setattr__(self, "forward", fwd)
+        if fwd.ndim != 1 or not np.array_equal(
+                np.sort(fwd), np.arange(fwd.shape[0], dtype=np.int64)):
+            raise ValidationError(
+                "IterationMap.forward must be a permutation of "
+                "[0, n) — transforms must stay invertible"
+            )
+
+    @classmethod
+    def identity(cls, n: int) -> "IterationMap":
+        return cls(np.arange(int(n), dtype=np.int64))
+
+    @property
+    def n(self) -> int:
+        return int(self.forward.shape[0])
+
+    @cached_property
+    def is_identity(self) -> bool:
+        return bool(np.array_equal(self.forward,
+                                   np.arange(self.n, dtype=np.int64)))
+
+    @cached_property
+    def inverse(self) -> np.ndarray:
+        """``inverse[i]`` = transformed position of original iteration
+        ``i`` (``inverse[forward[k]] == k``)."""
+        inv = np.empty(self.n, dtype=np.int64)
+        inv[self.forward] = np.arange(self.n, dtype=np.int64)
+        return inv
+
+
+class MappedKernel(LoopKernel):
+    """Runs an inner kernel through an :class:`IterationMap`.
+
+    The transformed loop's iteration ``k`` executes the inner kernel's
+    iteration ``forward[k]``; renaming inside the inner kernel is by
+    *original* iteration numbers, so it is order-independent and the
+    wrap is sound for any legal schedule of the transformed program.
+    """
+
+    def __init__(self, inner, imap: IterationMap):
+        if inner.n != imap.n:
+            raise ValidationError(
+                f"MappedKernel: inner kernel has n={inner.n} but the "
+                f"iteration map covers n={imap.n}"
+            )
+        self.inner = inner
+        self.imap = imap
+        self._forward = imap.forward
+        self.n = inner.n
+
+    @property
+    def thread_safe(self) -> bool:
+        return bool(getattr(self.inner, "thread_safe", True))
+
+    def start(self) -> None:
+        self.inner.start()
+
+    def execute_index(self, i: int) -> None:
+        self.inner.execute_index(int(self._forward[i]))
+
+    def execute_batch(self, indices) -> None:
+        self.inner.execute_batch(self._forward[np.asarray(indices)])
+
+    def result(self):
+        return self.inner.result()
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One schedulable piece of a transformed program."""
+
+    program: LoopProgram
+    imap: IterationMap
+    #: Indices (into the source program's statement list) this stage
+    #: carries.
+    statements: tuple
+
+
+@dataclass(frozen=True)
+class Variant:
+    """One legal rewrite of a program: an ordered bundle of stages."""
+
+    name: str
+    stages: tuple
+    source: LoopProgram
+
+    def structure_key(self) -> tuple:
+        """Stage structure hashes — equivalent variants share this, so
+        the tuner dedupes them onto the same cache/store entries."""
+        return tuple(st.program.structure_hash() for st in self.stages)
+
+
+# ----------------------------------------------------------------------
+# Fission
+# ----------------------------------------------------------------------
+
+def _strongly_connected(adj: np.ndarray) -> list:
+    """Tarjan SCCs of the (tiny) statement conflict digraph."""
+    num = adj.shape[0]
+    index = [None] * num
+    low = [0] * num
+    on_stack = [False] * num
+    stack: list[int] = []
+    comps: list[list[int]] = []
+    counter = [0]
+
+    def strong(v):
+        index[v] = low[v] = counter[0]
+        counter[0] += 1
+        stack.append(v)
+        on_stack[v] = True
+        for w in range(num):
+            if not adj[v, w]:
+                continue
+            if index[w] is None:
+                strong(w)
+                low[v] = min(low[v], low[w])
+            elif on_stack[w]:
+                low[v] = min(low[v], index[w])
+        if low[v] == index[v]:
+            comp = []
+            while True:
+                w = stack.pop()
+                on_stack[w] = False
+                comp.append(w)
+                if w == v:
+                    break
+            comps.append(comp)
+
+    for v in range(num):
+        if index[v] is None:
+            strong(v)
+    return comps
+
+
+def _condensation_order(adj: np.ndarray) -> list:
+    """SCCs of ``adj`` in a deterministic topological order.
+
+    Kahn's algorithm over the condensation, ties broken by smallest
+    member statement — stable across runs and platforms.
+    """
+    comps = _strongly_connected(adj)
+    comp_of = {}
+    for ci, comp in enumerate(comps):
+        for v in comp:
+            comp_of[v] = ci
+    succs: list[set] = [set() for _ in comps]
+    preds: list[set] = [set() for _ in comps]
+    num = adj.shape[0]
+    for a in range(num):
+        for b in range(num):
+            if adj[a, b] and comp_of[a] != comp_of[b]:
+                succs[comp_of[a]].add(comp_of[b])
+                preds[comp_of[b]].add(comp_of[a])
+    key = [min(comp) for comp in comps]
+    ready = sorted((ci for ci in range(len(comps)) if not preds[ci]),
+                   key=lambda ci: key[ci])
+    order: list[list[int]] = []
+    remaining = {ci: set(preds[ci]) for ci in range(len(comps))}
+    while ready:
+        ci = ready.pop(0)
+        order.append(sorted(comps[ci]))
+        newly = []
+        for cj in succs[ci]:
+            remaining[cj].discard(ci)
+            if not remaining[cj]:
+                newly.append(cj)
+        ready = sorted(ready + newly, key=lambda ci: key[ci])
+    return order
+
+
+def fission(prog: LoopProgram) -> Variant | None:
+    """Split a multi-statement program along dependence-cycle boundaries.
+
+    Statements in one strongly connected component of the conflict
+    graph must stay together (they form a dependence cycle across
+    iterations); the condensation's topological order gives the legal
+    stage sequence.  Returns ``None`` when there is nothing to split —
+    a single statement, a single SCC, or a monolithic kernel whose
+    body cannot be taken apart.
+    """
+    if prog.num_statements < 2 or prog.kernel is not None:
+        return None
+    adj = prog.statement_adjacency()
+    comps = _condensation_order(adj)
+    if len(comps) < 2:
+        return None
+    stages = []
+    base = prog.name or "program"
+    for k, comp in enumerate(comps):
+        sub = LoopProgram(
+            prog.n,
+            statements=[prog.statements[j] for j in comp],
+            data=prog.data,
+            name=f"{base}/fission{k}",
+            shape=prog.shape,
+        )
+        stages.append(Stage(sub, IterationMap.identity(prog.n),
+                            tuple(comp)))
+    return Variant("fission", tuple(stages), prog)
+
+
+# ----------------------------------------------------------------------
+# Fusion
+# ----------------------------------------------------------------------
+
+def fuse(a: LoopProgram, b: LoopProgram, *,
+         name: str | None = None) -> LoopProgram:
+    """Merge two programs into one multi-statement program.
+
+    The fused serial order interleaves: iteration ``i`` runs all of
+    ``a``'s statements, then all of ``b``'s, before iteration ``i+1``
+    — so one inspection (and one schedule) covers both programs.
+    Statement-bodied (or kernel-free) programs only: a monolithic
+    kernel's snapshot renaming is scoped to its own program and cannot
+    be interleaved soundly.  Shared data entries must be the *same*
+    array object.
+    """
+    if a.n != b.n:
+        raise ValidationError(
+            f"cannot fuse programs with different iteration counts "
+            f"({a.n} vs {b.n})"
+        )
+    for prog, label in ((a, "first"), (b, "second")):
+        if prog.kernel is not None:
+            raise ValidationError(
+                f"cannot fuse the {label} program: it binds a "
+                "monolithic kernel; declare statement bodies instead"
+            )
+    data = dict(a.data)
+    for key, arr in b.data.items():
+        if key in data and data[key] is not arr:
+            raise ValidationError(
+                f"cannot fuse: both programs bind data entry {key!r} "
+                "to different arrays"
+            )
+        data[key] = arr
+    shape = a.shape if a.shape == b.shape else None
+    return LoopProgram(
+        a.n,
+        statements=list(a.statements) + list(b.statements),
+        data=data,
+        name=name or f"fuse({a.name or 'a'},{b.name or 'b'})",
+        shape=shape,
+    )
+
+
+# ----------------------------------------------------------------------
+# Skew
+# ----------------------------------------------------------------------
+
+def _permute_access(acc, forward: np.ndarray):
+    """A concrete :class:`At` descriptor for a permuted access."""
+    from .descriptors import At
+    from ..util.frontier import counts_to_indptr
+
+    if acc.identity:
+        return At(acc.array, forward.copy())
+    counts = np.diff(acc.indptr)
+    new_counts = counts[forward]
+    indptr = counts_to_indptr(new_counts)
+    starts = acc.indptr[:-1][forward]
+    take = (np.repeat(starts, new_counts)
+            + np.arange(int(indptr[-1]), dtype=np.int64)
+            - np.repeat(indptr[:-1], new_counts))
+    return At(acc.array, (indptr, acc.indices[take]))
+
+
+def _permute_program(prog: LoopProgram, imap: IterationMap) -> LoopProgram:
+    """The program renumbered by ``imap``, executing via MappedKernel."""
+    forward = imap.forward
+    statements = []
+    for st, (rr, ww) in zip(prog.statements, prog._stmt_resolved):
+        statements.append(Statement(
+            reads=tuple(_permute_access(acc, forward) for acc in rr),
+            writes=tuple(_permute_access(acc, forward) for acc in ww),
+            name=st.name,
+        ))
+    source = prog
+
+    def factory(**data):
+        inner = source.with_data(**data).make_kernel()
+        if inner is None:
+            return None
+        return MappedKernel(inner, imap)
+
+    has_kernel = (prog.kernel is not None
+                  or any(st.body is not None for st in prog.statements))
+    return LoopProgram(
+        prog.n,
+        statements=statements,
+        kernel=factory if has_kernel else None,
+        data=prog.data,
+        name=f"{prog.name or 'program'}/skew",
+    )
+
+
+def skew(prog: LoopProgram) -> Variant | None:
+    """Renumber a row-major 2-D iteration space into anti-diagonal order.
+
+    Iterations are sorted by diagonal ``r + c`` (then by row) — the
+    static wavefront order.  Legal exactly when every dependence still
+    points backward under the new numbering (checked against the
+    extracted graph); returns ``None`` for programs without a
+    ``shape``, degenerate 1-D shapes, or illegal reorderings.
+    """
+    if prog.shape is None:
+        return None
+    rows, cols = prog.shape
+    n = prog.n
+    idx = np.arange(n, dtype=np.int64)
+    r, c = idx // cols, idx % cols
+    forward = np.argsort((r + c) * np.int64(rows) + r, kind="stable")
+    if np.array_equal(forward, idx):
+        return None
+    imap = IterationMap(forward)
+    dep = prog.dependence_graph()
+    if dep.num_edges:
+        inv = imap.inverse
+        dst = dep.edge_rows()
+        src = dep.indices
+        if np.any(inv[src] >= inv[dst]):
+            return None
+    skewed = _permute_program(prog, imap)
+    return Variant(
+        "skew",
+        (Stage(skewed, imap, tuple(range(prog.num_statements))),),
+        prog,
+    )
+
+
+# ----------------------------------------------------------------------
+# Variant enumeration
+# ----------------------------------------------------------------------
+
+def enumerate_variants(prog: LoopProgram) -> list:
+    """Every distinct legal rewrite of ``prog``, identity first.
+
+    Composes the passes (fission, skew, skew-each-fission-stage) and
+    dedupes by stage structure hashes, so two roads to the same
+    structure collapse onto one tuning entry.
+    """
+    identity = Variant(
+        "identity",
+        (Stage(prog, IterationMap.identity(prog.n),
+               tuple(range(prog.num_statements))),),
+        prog,
+    )
+    variants = [identity]
+    fissioned = fission(prog)
+    if fissioned is not None:
+        variants.append(fissioned)
+    skewed = skew(prog)
+    if skewed is not None:
+        variants.append(skewed)
+    if fissioned is not None and prog.shape is not None:
+        stages = []
+        any_skewed = False
+        for stage in fissioned.stages:
+            sv = skew(stage.program)
+            if sv is not None:
+                inner = sv.stages[0]
+                stages.append(Stage(inner.program, inner.imap,
+                                    stage.statements))
+                any_skewed = True
+            else:
+                stages.append(stage)
+        if any_skewed:
+            variants.append(Variant("fission+skew", tuple(stages), prog))
+    seen = set()
+    out = []
+    for variant in variants:
+        key = variant.structure_key()
+        if key not in seen:
+            seen.add(key)
+            out.append(variant)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Execution of a multi-stage winner
+# ----------------------------------------------------------------------
+
+class _BundleInspection:
+    """Inspection facade over a variant bundle (for RunReport/report)."""
+
+    def __init__(self, variant: Variant, stage_loops):
+        self.strategy = f"transform:{variant.name}"
+        self.pipeline_cost = float(sum(
+            loop.inspection.pipeline_cost for loop in stage_loops))
+        self.num_wavefronts = int(sum(
+            loop.inspection.num_wavefronts for loop in stage_loops))
+        self.schedule = None
+        self.wavefronts = None
+        self._variant = variant
+
+    @property
+    def dep(self):
+        return self._variant.source.dependence_graph()
+
+
+class TransformedLoop:
+    """The executable form of a multi-stage variant winner.
+
+    Duck-types the :class:`~repro.runtime.CompiledLoop` surface the
+    rest of the library leans on — ``loop()`` → :class:`RunReport`,
+    ``simulate()``, ``report()``, ``rebind()`` — while running one
+    compiled loop per stage in condensation order.  Arrays written by
+    an earlier stage are threaded into later stages through data-only
+    rebinds (no inspector work), and the bundle's simulated makespan
+    is the stage sum plus one barrier between consecutive stages —
+    exactly the quantity the tuner used to pick this variant.
+    """
+
+    def __init__(self, runtime, program: LoopProgram, variant: Variant,
+                 stage_loops, *, verdict=None):
+        self.runtime = runtime
+        self.program = program
+        self.variant = variant
+        self.stage_loops = list(stage_loops)
+        #: The :class:`~repro.tuning.tuner.ProgramVerdict` behind this
+        #: compile (``None`` when assembled by hand).
+        self.verdict = verdict
+        self.inspection = _BundleInspection(variant, self.stage_loops)
+        self.executor_name = self.inspection.strategy
+        self.scheduler_name = "bundle"
+        self.assignment = "bundle"
+        self.balance = "wrapped"
+        self.cache_hit = all(loop.cache_hit for loop in self.stage_loops)
+        self.compile_count = max(
+            (loop.compile_count for loop in self.stage_loops), default=1)
+        self.executions = 0
+        self.rebinds = 0
+        self._default_sim = None
+
+    # ------------------------------------------------------------------
+    @property
+    def dep(self):
+        return self.program.dependence_graph()
+
+    @property
+    def nproc(self) -> int:
+        return self.runtime.nproc
+
+    @property
+    def costs(self):
+        return self.runtime.costs
+
+    def _written_names(self, program: LoopProgram) -> list:
+        names = []
+        for acc in program.resolved_accesses()[1]:
+            if acc.array not in names:
+                names.append(acc.array)
+        return names
+
+    def _stage_outputs(self, stage: Stage, x) -> dict:
+        names = self._written_names(stage.program)
+        if x is None:
+            return {}
+        if isinstance(x, dict):
+            return dict(x)
+        return {names[0]: x} if names else {}
+
+    # ------------------------------------------------------------------
+    def __call__(self, kernel=None, *, backend: str | None = None,
+                 timeout: float = 30.0, with_sim: bool = True) -> RunReport:
+        if kernel is not None:
+            raise ValidationError(
+                "a transformed loop executes its stage kernels; "
+                "per-call kernels are not supported"
+            )
+        outputs: dict = {}
+        sw = Stopwatch().start()
+        for k, stage in enumerate(self.variant.stages):
+            loop = self.stage_loops[k]
+            if outputs:
+                carry = {nm: arr for nm, arr in outputs.items()
+                         if nm in loop.program.data}
+                if carry:
+                    loop = loop.rebind(**carry)
+                    self.stage_loops[k] = loop
+            rep = loop(backend=backend, timeout=timeout, with_sim=False)
+            outputs.update(self._stage_outputs(stage, rep.x))
+        sw.stop()
+        self.executions += 1
+        written = self._written_names(self.program)
+        if not outputs:
+            x = None
+        elif len(written) == 1:
+            x = outputs[written[0]]
+        else:
+            x = {nm: outputs[nm] for nm in written if nm in outputs}
+        sim = self.simulate() if with_sim else None
+        cache = self.runtime.cache
+        return RunReport(
+            x=x,
+            sim=sim,
+            inspection=self.inspection,
+            backend=backend if backend is not None else self.runtime.backend,
+            executor=self.executor_name,
+            scheduler=self.inspection.strategy,
+            assignment=self.assignment,
+            cache_hit=self.cache_hit,
+            compile_count=self.compile_count,
+            executions=self.executions,
+            host_seconds=sw.elapsed,
+            cache_stats=cache.stats.snapshot() if cache is not None else None,
+        )
+
+    run = __call__
+
+    # ------------------------------------------------------------------
+    def simulate(self, *, unit_work=None):
+        """Bundle timing: stage sum + one barrier between stages.
+
+        Stages are priced from their programs' declared accesses
+        (:meth:`LoopProgram.unit_work`) so every stage of every variant
+        charges the same per-statement work — the invariant that makes
+        cross-variant comparison meaningful.  ``unit_work`` overrides
+        are not supported on bundles.
+        """
+        from ..machine.simulator import SimResult
+
+        if unit_work is not None:
+            raise ValidationError(
+                "transformed loops price work from their stage "
+                "programs; per-call unit_work is not supported"
+            )
+        if self._default_sim is None:
+            costs = self.runtime.costs
+            sims = [
+                loop.simulate(
+                    unit_work=stage.program.unit_work(costs))
+                for stage, loop in zip(self.variant.stages,
+                                       self.stage_loops)
+            ]
+            sync = costs.sync_cost(self.nproc) * (len(sims) - 1)
+            total = float(sum(s.total_time for s in sims)) + sync
+            busy = np.sum([s.busy for s in sims], axis=0)
+            self._default_sim = SimResult(
+                mode=f"transform:{self.variant.name}",
+                nproc=self.nproc,
+                total_time=total,
+                seq_time=float(sum(s.seq_time for s in sims)),
+                busy=busy,
+                idle=np.maximum(total - busy, 0.0),
+                sync_time=float(sum(s.sync_time for s in sims)) + sync,
+                num_phases=int(sum(s.num_phases for s in sims)),
+            )
+        return self._default_sim
+
+    def report(self) -> dict:
+        sim = self.simulate()
+        inspect_cost = self.inspection.pipeline_cost
+        saving = sim.seq_time - sim.total_time
+        return {
+            "executor": self.executor_name,
+            "scheduler": self.inspection.strategy,
+            "assignment": self.assignment,
+            "n": self.program.n,
+            "nproc": self.nproc,
+            "variant": self.variant.name,
+            "num_stages": len(self.variant.stages),
+            "num_wavefronts": self.inspection.num_wavefronts,
+            "cache_hit": self.cache_hit,
+            "compile_count": self.compile_count,
+            "tuned": self.verdict is not None,
+            "executions": self.executions,
+            "inspect_cost": inspect_cost,
+            "parallel_time": sim.total_time,
+            "seq_time": sim.seq_time,
+            "efficiency": sim.efficiency,
+            "break_even_executions": (
+                inspect_cost / saving if saving > 0.0 else float("inf")
+            ),
+        }
+
+    # ------------------------------------------------------------------
+    def rebind(self, **arrays):
+        """Swap data arrays; recompile (re-tune) only on structure change.
+
+        Data-only rebinds push the new arrays into every stage loop in
+        place — zero inspector work, the multi-stage version of
+        :meth:`BoundLoop.rebind <repro.program.BoundLoop.rebind>`.  A
+        structural change re-enters ``strategy="auto"``, which
+        re-tunes variants × strategies for the new structure.
+        """
+        program = self.program.with_data(**arrays)
+        structural = set(arrays) & self.program.structural_names()
+        if (structural
+                and program.structure_hash() != self.program.structure_hash()):
+            return self.runtime.compile(program, strategy="auto")
+        self.program = program
+        for k, loop in enumerate(self.stage_loops):
+            carry = {nm: v for nm, v in arrays.items()
+                     if nm in loop.program.data}
+            if carry:
+                self.stage_loops[k] = loop.rebind(**carry)
+        self.rebinds += 1
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"TransformedLoop(variant={self.variant.name!r}, "
+                f"stages={len(self.variant.stages)}, "
+                f"n={self.program.n}, nproc={self.nproc})")

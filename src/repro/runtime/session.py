@@ -313,18 +313,34 @@ class Runtime:
         strategy search across process restarts.
     tune_seed:
         Seed of the (deterministic) strategy search.
+    expected_executions:
+        Amortisation horizon of ``strategy="auto"`` arbitration: the
+        number of executions each compiled structure is expected to
+        serve.  When set, every candidate's score charges its
+        inspection cost divided by this horizon — so on cold
+        structures (horizon 1) the no-inspection speculative arm can
+        win, while large horizons recover pure steady-state makespan
+        ranking.  ``None`` (default) keeps the classic makespan-only
+        scoring.  The adaptive speculation guard also prices its
+        break-even conflict rate against this horizon.
     """
 
     def __init__(self, nproc: int = 8, *, backend: str = "serial",
                  costs: MachineCosts = MULTIMAX_320,
                  cache: ScheduleCache | int | None = 128,
                  cache_dir=None, tuning=64, tuning_dir=None,
-                 tune_seed: int = 0):
+                 tune_seed: int = 0,
+                 expected_executions: float | None = None):
         from ..core.inspector import Inspector  # deferred: import cycle
 
         self.nproc = check_positive(nproc, "nproc")
         self.backend = backend_registry.validate(backend)
         self.costs = costs
+        if expected_executions is not None and expected_executions <= 0:
+            raise ValidationError(
+                "expected_executions must be positive (or None)")
+        self.expected_executions = (
+            None if expected_executions is None else float(expected_executions))
         if isinstance(cache, ScheduleCache):
             self.cache: ScheduleCache | None = cache
         elif cache is None:
@@ -460,6 +476,12 @@ class Runtime:
                     "'auto', 'speculative' (or omit it and pick executor/"
                     "scheduler/assignment/balance explicitly)"
                 )
+            if program is not None and (program.num_statements > 1
+                                        or program.shape is not None):
+                # Transformable programs tune variants × strategies;
+                # plain single-statement programs keep the exact
+                # classic path below.
+                return self._compile_program_auto(program)
             # Normalize once: the tuner's store key and the schedule
             # cache below hash the same graph.
             deps = self._inspector.dependences_of(deps)
@@ -537,7 +559,50 @@ class Runtime:
 
         return compile_speculative(self, deps, verdict=verdict)
 
+    def _compile_program_auto(self, program):
+        """``strategy="auto"`` over program variants × strategies.
+
+        The tuner scores every legal rewrite of the program (identity,
+        fission, skew, compositions) under every strategy; an identity
+        winner compiles through the classic path (same ScheduleCache,
+        same speculative reroute), a transformed winner compiles one
+        loop per stage and returns a
+        :class:`~repro.program.transform.TransformedLoop` bundle.
+        """
+        pv = self._ensure_tuner().tune_program(
+            program, expected_executions=self.expected_executions)
+        if not pv.transformed:
+            vd = pv.stage_verdicts[0]
+            loop = self.compile(program, **{
+                "executor": vd.executor, "scheduler": vd.scheduler,
+                "assignment": vd.assignment, "balance": vd.balance,
+            })
+            loop.verdict = vd
+            loop.program_verdict = pv
+            return loop
+        from ..program.transform import TransformedLoop  # deferred: cycle
+
+        stage_loops = []
+        for stage, vd in zip(pv.variant.stages, pv.stage_verdicts):
+            loop = self.compile(stage.program, **{
+                "executor": vd.executor, "scheduler": vd.scheduler,
+                "assignment": vd.assignment, "balance": vd.balance,
+            })
+            loop.verdict = vd
+            stage_loops.append(loop)
+        return TransformedLoop(self, program, pv.variant, stage_loops,
+                               verdict=pv)
+
     # ------------------------------------------------------------------
+    def _ensure_tuner(self):
+        if self._tuner is None:
+            from ..tuning.tuner import Tuner  # deferred: import cycle
+
+            self._tuner = Tuner(self.nproc, self.costs,
+                                seed=self.tune_seed,
+                                store=self.tuning_store)
+        return self._tuner
+
     def tune(self, deps, *, kernel=None, backend: str | None = None):
         """Search (or recall) the best strategy bundle for ``deps``.
 
@@ -545,15 +610,12 @@ class Runtime:
         tuner is built lazily and shares its machine shape
         (``nproc``/``costs``) and ``TuningStore``; pass ``kernel`` and
         ``backend`` to let real executions arbitrate among the
-        simulator's finalists.
+        simulator's finalists.  A session ``expected_executions``
+        horizon makes the scores amortisation-aware.
         """
-        if self._tuner is None:
-            from ..tuning.tuner import Tuner  # deferred: import cycle
-
-            self._tuner = Tuner(self.nproc, self.costs,
-                                seed=self.tune_seed,
-                                store=self.tuning_store)
-        return self._tuner.tune(deps, kernel=kernel, backend=backend)
+        return self._ensure_tuner().tune(
+            deps, kernel=kernel, backend=backend,
+            expected_executions=self.expected_executions)
 
     # ------------------------------------------------------------------
     def run(self, kernel, deps=None, *, backend: str | None = None,

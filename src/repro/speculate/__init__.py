@@ -17,7 +17,9 @@ scheduled candidate.
 
 from .shadow import AccessLog, ShadowScan, clean_cut, repair_set, scan_accesses
 from .executor import (
+    DEFAULT_EXPECTED_EXECUTIONS,
     FALLBACK_THRESHOLD,
+    MIN_FALLBACK_RATE,
     ConflictReport,
     SpeculationPlan,
     SpeculativeExecutor,
@@ -39,6 +41,8 @@ __all__ = [
     "SpeculationPlan",
     "SpeculativeExecutor",
     "FALLBACK_THRESHOLD",
+    "MIN_FALLBACK_RATE",
+    "DEFAULT_EXPECTED_EXECUTIONS",
     "SpeculativeLoop",
     "SpeculativeBoundLoop",
     "compile_speculative",

@@ -46,12 +46,23 @@ from ..runtime.registry import register_executor
 from ..util.rng import default_rng
 from .shadow import AccessLog, ShadowScan, repair_set, scan_accesses
 
-__all__ = ["ConflictReport", "SpeculationPlan", "SpeculativeExecutor"]
+__all__ = ["ConflictReport", "SpeculationPlan", "SpeculativeExecutor",
+           "FALLBACK_THRESHOLD", "MIN_FALLBACK_RATE",
+           "DEFAULT_EXPECTED_EXECUTIONS"]
 
-#: Measured conflict rate at which the adaptive guard abandons
-#: speculation for a structure and recompiles the classic
-#: inspector/executor pipeline instead.
+#: Ceiling of the adaptive guard: whatever the machine model says, a
+#: structure whose measured conflict rate reaches this abandons
+#: speculation and recompiles the classic inspector/executor pipeline.
 FALLBACK_THRESHOLD = 0.05
+
+#: Floor of the adaptive guard — below this rate the serial repair is
+#: noise whatever the structure, so speculation always stays.
+MIN_FALLBACK_RATE = 0.01
+
+#: Amortisation horizon assumed when the session does not declare one:
+#: how many executions a structure is expected to serve, over which
+#: the classic pipeline would spread its inspection cost.
+DEFAULT_EXPECTED_EXECUTIONS = 16.0
 
 
 @dataclass
@@ -144,6 +155,48 @@ class SpeculativeExecutor:
         #: :class:`ConflictReport` of the most recent :meth:`run`.
         self.last_conflicts: ConflictReport | None = None
         self._plan: SpeculationPlan | None = None
+
+    # ------------------------------------------------------------------
+    def break_even_rate(self, expected_executions: float | None = None
+                        ) -> float:
+        """Per-structure conflict rate at which speculation stops paying.
+
+        Priced from the machine model and the access log alone (no
+        shadow scan, no dependence extraction — the quantities the
+        no-inspection path is allowed to know):
+
+        * staying speculative costs the serial repair of the
+          conflicting iterations on *every* execution — roughly
+          ``rate * n * (re-execute + restore)`` model µs;
+        * falling back costs the classic inspection once, amortised
+          over the structure's expected executions — estimated at the
+          inspector's sort prices (``t_sort_base`` per iteration,
+          ``t_sort_per_dep`` per read event).
+
+        Equating the two gives the break-even rate, clamped to
+        ``[MIN_FALLBACK_RATE, FALLBACK_THRESHOLD]`` so the guard never
+        tolerates more than the legacy constant nor thrashes on noise.
+        A horizon of 1 (a cold one-shot structure) therefore keeps the
+        ceiling — nothing amortises an inspection nobody reuses.
+        """
+        log, costs = self.log, self.costs
+        n = log.n
+        if n <= 0:
+            return FALLBACK_THRESHOLD
+        horizon = (DEFAULT_EXPECTED_EXECUTIONS
+                   if expected_executions is None
+                   else max(1.0, float(expected_executions)))
+        total_reads = float(log.read_it.shape[0])
+        inspect_est = n * costs.t_sort_base + costs.t_sort_per_dep * total_reads
+        repair_per_iter = (
+            costs.t_work_base
+            + costs.t_work_per_dep * total_reads / n
+            + costs.t_rearrange * float(log.write_it.shape[0]) / n
+        )
+        if repair_per_iter <= 0.0:
+            return FALLBACK_THRESHOLD
+        rate = inspect_est / (horizon * n * repair_per_iter)
+        return float(min(FALLBACK_THRESHOLD, max(MIN_FALLBACK_RATE, rate)))
 
     # ------------------------------------------------------------------
     def plan(self) -> SpeculationPlan:

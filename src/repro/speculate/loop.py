@@ -34,7 +34,7 @@ from ..errors import ValidationError
 from ..runtime.backends import ExecutionBackend
 from ..runtime.registry import register_backend
 from ..util.timing import Stopwatch
-from .executor import FALLBACK_THRESHOLD, SpeculativeExecutor
+from .executor import SpeculativeExecutor
 from .shadow import AccessLog
 
 __all__ = [
@@ -231,7 +231,11 @@ def compile_speculative(runtime, deps, *, verdict=None):
         loop = SpeculativeBoundLoop(runtime, inspection, program=program,
                                     bound_kernel=program.make_kernel(),
                                     **common)
-    loop._init_speculation(deps, key, FALLBACK_THRESHOLD)
+    # The guard threshold is priced per structure from the machine
+    # model, amortising the avoided inspection over the session's
+    # expected execution horizon (the ceiling is the legacy constant).
+    loop._init_speculation(deps, key, executor.break_even_rate(
+        getattr(runtime, "expected_executions", None)))
     return loop
 
 

@@ -37,9 +37,10 @@ from .features import WorkloadFeatures, extract_features
 from .measure import Measurement, prefix_graph, simulate_spec, time_spec
 from .space import CandidateSpec, enumerate_space, space_fingerprint
 from .store import TuningStore, TuningVerdict
-from .tuner import Tuner
+from .tuner import ProgramVerdict, Tuner
 
 __all__ = [
+    "ProgramVerdict",
     "WorkloadFeatures",
     "extract_features",
     "Measurement",

@@ -71,12 +71,27 @@ def prefix_graph(dep: DependenceGraph, m: int) -> DependenceGraph:
     return DependenceGraph(indptr, indices[keep], m, check_acyclic=False)
 
 
-def simulate_spec(runtime, deps, spec: CandidateSpec) -> tuple[float, str | None]:
-    """Simulated makespan of one candidate (``inf`` when it cannot run).
+def simulate_spec(
+    runtime,
+    deps,
+    spec: CandidateSpec,
+    *,
+    unit_work=None,
+    expected_executions: float | None = None,
+) -> tuple[float, str | None]:
+    """Simulated score of one candidate (``inf`` when it cannot run).
 
     ``runtime`` is the search session (its ScheduleCache absorbs
     repeated compiles of the same rung); ``deps`` any dependence
-    source.  Returns ``(makespan, error-or-None)``.
+    source.  Returns ``(score, error-or-None)``.
+
+    The score is the simulated makespan, optionally under a
+    ``unit_work`` pricing override, and — when ``expected_executions``
+    is given — plus the candidate's inspection cost amortised over
+    that many executions.  Amortisation is what lets the
+    no-inspection speculative arm (``pipeline_cost`` 0) win cold
+    structures that the classic pipeline would only beat in steady
+    state.
     """
     try:
         meta = (executor_registry.metadata(spec.executor)
@@ -91,7 +106,11 @@ def simulate_spec(runtime, deps, spec: CandidateSpec) -> tuple[float, str | None
             loop = runtime.compile(deps, strategy="speculative")
         else:
             loop = runtime.compile(deps, **spec.compile_kwargs())
-        return float(loop.simulate().total_time), None
+        score = float(loop.simulate(unit_work=unit_work).total_time)
+        if expected_executions is not None:
+            horizon = max(1.0, float(expected_executions))
+            score += float(loop.inspection.pipeline_cost) / horizon
+        return score, None
     except ReproError as exc:
         return float("inf"), f"{type(exc).__name__}: {exc}"
 

@@ -37,7 +37,7 @@ from .space import CandidateSpec
 __all__ = ["TuningVerdict", "TuningStore"]
 
 #: Bumped when the persisted verdict layout changes; old files re-search.
-_FORMAT = 1
+_FORMAT = 2
 
 
 @dataclass(frozen=True)
@@ -62,6 +62,10 @@ class TuningVerdict:
     signature: str
     #: False when this verdict was served from a :class:`TuningStore`.
     searched: bool = True
+    #: Inspection cost (model µs) of the winning strategy — 0 for the
+    #: no-inspection speculative arm; what amortised arbitration and
+    #: the transform tuner charge against the expected executions.
+    pipeline_cost: float = 0.0
 
     # ------------------------------------------------------------------
     @property

@@ -23,21 +23,74 @@ always produce the identical verdict.
 
 from __future__ import annotations
 
+import hashlib
 import math
+from dataclasses import dataclass
 
 import numpy as np
 
 from ..core.inspector import Inspector
-from ..errors import ValidationError
+from ..errors import ReproError, ValidationError
 from ..machine.costs import MULTIMAX_320, MachineCosts
 from ..machine.simulator import sequential_time
+from ..runtime.registry import executor_registry
 from ..util.validation import check_positive
 from .features import WorkloadFeatures, extract_features
 from .measure import Measurement, prefix_graph, simulate_spec, time_spec
 from .space import CandidateSpec, enumerate_space, space_fingerprint
 from .store import TuningStore, TuningVerdict
 
-__all__ = ["Tuner"]
+__all__ = ["Tuner", "ProgramVerdict"]
+
+
+def _unit_work_digest(unit_work: np.ndarray) -> str:
+    h = hashlib.blake2b(digest_size=8)
+    h.update(np.ascontiguousarray(
+        np.asarray(unit_work, dtype=np.float64)).tobytes())
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class ProgramVerdict:
+    """Outcome of a variants × strategies search over one program.
+
+    Not persisted — each *stage*'s strategy verdict lands in the
+    :class:`~repro.tuning.store.TuningStore` under its own structural
+    key (that is where the amortisation lives: two variants sharing a
+    stage structure share its entry), so re-assembling the program
+    verdict on a warm store costs one cheap search pass per stage.
+    """
+
+    #: Name of the winning variant (``"identity"`` = untransformed).
+    variant_name: str
+    #: The winning :class:`~repro.program.transform.Variant` bundle.
+    variant: object
+    #: One strategy :class:`TuningVerdict` per stage, in stage order.
+    stage_verdicts: tuple
+    #: Combined score of the winner: stage makespans + inter-stage
+    #: barriers (+ amortised inspection when ``expected_executions``
+    #: is set).
+    sim_makespan: float
+    #: Same score for the untransformed (identity) variant — the
+    #: baseline the acceptance criteria compare against.
+    baseline_makespan: float
+    #: Sequential time of the source program under access pricing.
+    seq_time: float
+    #: ``(variant name, combined score)`` for every variant searched.
+    variant_scores: tuple
+    #: The amortisation horizon used (``None`` = steady-state scoring).
+    expected_executions: float | None
+
+    @property
+    def transformed(self) -> bool:
+        return self.variant_name != "identity"
+
+    @property
+    def speedup_over_identity(self) -> float:
+        """Baseline over winner (> 1 when a transform won)."""
+        if self.sim_makespan <= 0:
+            return 1.0
+        return self.baseline_makespan / self.sim_makespan
 
 
 def _check_arbitration(kernel, backend: str | None) -> bool:
@@ -122,13 +175,23 @@ class Tuner:
         self.last_measurements: list[Measurement] = []
 
     # ------------------------------------------------------------------
-    def tune(self, deps, *, kernel=None, backend: str | None = None) -> TuningVerdict:
+    def tune(self, deps, *, kernel=None, backend: str | None = None,
+             unit_work: np.ndarray | None = None,
+             expected_executions: float | None = None) -> TuningVerdict:
         """Verdict for ``deps`` — from the store, or a fresh search.
 
         ``kernel``/``backend`` enable stage two: the top finalists are
         executed for real and the wall clock picks among them.  Such
         backend-arbitrated verdicts are stored under their own key
         (``exec:<backend>``), never shared with sim-only searches.
+
+        ``unit_work`` overrides the per-iteration work pricing (used
+        by the variant search so every variant of one program charges
+        identical statement work); ``expected_executions`` amortises
+        each candidate's inspection cost over that many executions, so
+        the no-inspection speculative arm can win on cold structures.
+        Either knob suffixes the store key — such verdicts never
+        collide with plain makespan searches.
 
         A store hit costs one structure hash and a lookup — no
         wavefront sweep, no feature extraction, no search.
@@ -138,15 +201,22 @@ class Tuner:
         arbitrated = _check_arbitration(kernel, backend)
         key = None
         if self.store is not None:
+            mode = f"exec:{backend}" if arbitrated else "sim"
+            if expected_executions is not None:
+                mode += f":amort={float(expected_executions):g}"
+            if unit_work is not None:
+                mode += f":uw={_unit_work_digest(unit_work)}"
             key = TuningStore.key_for(
                 dep, self.nproc, self.costs, space_fingerprint(candidates),
-                mode=f"exec:{backend}" if arbitrated else "sim",
+                mode=mode,
             )
             verdict = self.store.get(key)
             if verdict is not None:
                 return verdict
         verdict = self.search(dep, candidates,
-                              kernel=kernel, backend=backend)
+                              kernel=kernel, backend=backend,
+                              unit_work=unit_work,
+                              expected_executions=expected_executions)
         if self.store is not None:
             self.store.put(key, verdict)
         return verdict
@@ -160,6 +230,8 @@ class Tuner:
         features: WorkloadFeatures | None = None,
         kernel=None,
         backend: str | None = None,
+        unit_work: np.ndarray | None = None,
+        expected_executions: float | None = None,
     ) -> TuningVerdict:
         """Run the successive-halving search (no store involvement)."""
         if candidates is None:
@@ -177,9 +249,12 @@ class Tuner:
         # Pruning rungs: simulate on growing prefixes, halve the field.
         for m in self._rung_sizes(dep.n):
             sub = prefix_graph(dep, m)
+            sub_uw = None if unit_work is None else unit_work[:m]
             scored = []
             for spec in survivors:
-                score, err = simulate_spec(self._runtime, sub, spec)
+                score, err = simulate_spec(
+                    self._runtime, sub, spec, unit_work=sub_uw,
+                    expected_executions=expected_executions)
                 sims += 1
                 measurements[spec].rung_scores.append(score)
                 if err is not None:
@@ -204,7 +279,9 @@ class Tuner:
         # Final rung: every survivor at full size.
         scored = []
         for spec in survivors:
-            score, err = simulate_spec(self._runtime, dep, spec)
+            score, err = simulate_spec(
+                self._runtime, dep, spec, unit_work=unit_work,
+                expected_executions=expected_executions)
             sims += 1
             measurements[spec].sim_makespan = score
             if err is not None:
@@ -244,11 +321,81 @@ class Tuner:
             assignment=best.assignment,
             balance=best.balance,
             sim_makespan=measurements[best].sim_makespan,
-            seq_time=sequential_time(dep, self.costs),
+            seq_time=sequential_time(dep, self.costs, unit_work),
             candidates=len(candidates),
             sims=sims,
             seed=self.seed,
             signature=features.signature(),
+            pipeline_cost=self._pipeline_cost_of(dep, best),
+        )
+
+    def _pipeline_cost_of(self, dep, spec: CandidateSpec) -> float:
+        """Inspection cost of one candidate (cached compile; 0 for the
+        no-inspection speculative arm)."""
+        try:
+            meta = (executor_registry.metadata(spec.executor)
+                    if spec.executor in executor_registry else {})
+            if meta.get("speculative"):
+                return 0.0
+            loop = self._runtime.compile(dep, **spec.compile_kwargs())
+            return float(loop.inspection.pipeline_cost)
+        except ReproError:
+            return 0.0
+
+    # ------------------------------------------------------------------
+    def tune_program(self, prog, *,
+                     expected_executions: float | None = None
+                     ) -> ProgramVerdict:
+        """Search program variants × strategies; pick the cheapest plan.
+
+        Every legal rewrite of ``prog`` (from
+        :func:`~repro.program.transform.enumerate_variants`) is scored
+        as the sum of its stages' tuned makespans plus one global
+        barrier between consecutive stages — stages run strictly in
+        order, so the barrier is the honest hand-off price.  All
+        stages of all variants are priced from the *declared accesses*
+        (:meth:`LoopProgram.unit_work
+        <repro.program.binding.LoopProgram.unit_work>`), never from
+        dependence counts, so a fissioned stage cannot hide the work
+        of statements it dropped.
+
+        Stage verdicts go through :meth:`tune`, hence through the
+        TuningStore — variants deduped by structure hash share
+        entries, and a warm store re-scores a program without a single
+        simulation.
+        """
+        from ..program.transform import enumerate_variants
+
+        variants = enumerate_variants(prog)
+        sync = self.costs.sync_cost(self.nproc)
+        results = []
+        for variant in variants:
+            stage_verdicts = []
+            total = sync * (len(variant.stages) - 1)
+            for stage in variant.stages:
+                sp = stage.program
+                verdict = self.tune(
+                    sp.dependence_graph(),
+                    unit_work=sp.unit_work(self.costs),
+                    expected_executions=expected_executions,
+                )
+                stage_verdicts.append(verdict)
+                total += verdict.sim_makespan
+            results.append((total, variant, tuple(stage_verdicts)))
+        baseline = results[0][0]  # identity is always first
+        best_total, best_variant, best_verdicts = min(
+            results, key=lambda t: t[0])
+        return ProgramVerdict(
+            variant_name=best_variant.name,
+            variant=best_variant,
+            stage_verdicts=best_verdicts,
+            sim_makespan=float(best_total),
+            baseline_makespan=float(baseline),
+            seq_time=sequential_time(prog.dependence_graph(), self.costs,
+                                     prog.unit_work(self.costs)),
+            variant_scores=tuple((v.name, float(t)) for t, v, _ in results),
+            expected_executions=(None if expected_executions is None
+                                 else float(expected_executions)),
         )
 
     # ------------------------------------------------------------------

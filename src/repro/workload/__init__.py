@@ -9,6 +9,7 @@ mesh with mean degree 4 and mean link distance 3.
 """
 
 from .generator import SyntheticWorkload, generate_workload
+from .multisweep import MultiSweep, stencil_program, sweep_program
 from .naming import parse_workload_name, format_workload_name
 
 __all__ = [
@@ -16,4 +17,7 @@ __all__ = [
     "generate_workload",
     "parse_workload_name",
     "format_workload_name",
+    "MultiSweep",
+    "sweep_program",
+    "stencil_program",
 ]
