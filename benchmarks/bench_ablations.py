@@ -22,11 +22,7 @@ def sweeps(full_ctx, save_table):
     barrier_pts, barrier_tbl = run_barrier_sweep(full_ctx)
     shared_pts, shared_tbl = run_shared_cost_sweep(full_ctx)
     balance_rows, balance_tbl = run_balance_ablation(full_ctx)
-    save_table(
-        "ablations",
-        "\n\n".join([barrier_tbl.render(), shared_tbl.render(),
-                     balance_tbl.render()]),
-    )
+    save_table("ablations", [barrier_tbl, shared_tbl, balance_tbl])
     return barrier_pts, shared_pts, balance_rows
 
 

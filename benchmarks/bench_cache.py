@@ -68,7 +68,7 @@ def test_cache_hit_beats_cold_inspection(workload, save_table):
     table.add_row("cache-hit compile", t_hit * 1000, speedup)
     print()
     print(table.render())
-    save_table("cache_cold_vs_hit", table.render())
+    save_table("cache_cold_vs_hit", table)
 
     assert speedup >= 10.0, f"cache hit only {speedup:.1f}x faster"
 
@@ -96,7 +96,7 @@ def test_amortisation_curve(workload, save_table):
         table.add_row(k, every * 1000, once * 1000, every / once)
     print()
     print(table.render())
-    save_table("cache_amortisation", table.render())
+    save_table("cache_amortisation", table)
 
     # With ≥2 executions the compile-once path must win.
     every2 = (t_cold + t_exec) * 2
@@ -126,7 +126,7 @@ def test_persistence_warm_start(workload, tmp_path, save_table):
     table.add_row("fresh session, disk warm start", t_warm * 1000)
     print()
     print(table.render())
-    save_table("cache_persistence", table.render())
+    save_table("cache_persistence", table)
 
     # Disk load must at least skip the inspector's pricing pass.
     assert t_warm < t_first

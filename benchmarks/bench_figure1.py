@@ -16,7 +16,7 @@ from repro.experiments.figure1 import render_quadrant, run_figure1
 @pytest.fixture(scope="module")
 def figure1(full_ctx, save_table):
     cells, table = run_figure1(full_ctx, mesh=65, nprocs=(4, 8, 12, 16))
-    save_table("figure1", table.render() + "\n\n" + render_quadrant(cells))
+    save_table("figure1", table, extra=render_quadrant(cells))
     return cells, table
 
 

@@ -16,7 +16,7 @@ from repro.experiments.figure12 import render_ascii_chart, run_figure12
 @pytest.fixture(scope="module")
 def figure12(full_ctx, save_table):
     points, table = run_figure12(full_ctx, mesh=65, nprocs=tuple(range(1, 17)))
-    save_table("figure12", table.render() + "\n\n" + render_ascii_chart(points))
+    save_table("figure12", table, extra=render_ascii_chart(points))
     return points, table
 
 

@@ -92,7 +92,7 @@ def test_figure3_sweep_speedup(save_table):
         "reference sweep vs pointer doubling", graphs)
     print()
     print(table.render())
-    save_table("inspector_figure3", table.render())
+    save_table("inspector_figure3", table)
     assert speedups[ACCEPT_N] >= ACCEPT_SPEEDUP, (
         f"only {speedups[ACCEPT_N]:.1f}x at n={ACCEPT_N}"
     )
@@ -106,7 +106,7 @@ def test_figure8_sweep_speedup(save_table):
         "reference sweep vs frontier engine", graphs)
     print()
     print(table.render())
-    save_table("inspector_figure8", table.render())
+    save_table("inspector_figure8", table)
     # The frontier engine must win clearly at the amortisation-relevant
     # sizes (recorded margins ≥ 5×; the n=10^4 row is reported but not
     # asserted — its ~2× margin is within shared-runner noise).  The
@@ -138,7 +138,7 @@ def test_successors_speedup(save_table):
                       t_ref / t_vec)
     print()
     print(table.render())
-    save_table("inspector_successors", table.render())
+    save_table("inspector_successors", table)
 
 
 def test_bench_frontier_sweep(benchmark):

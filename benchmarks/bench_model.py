@@ -17,7 +17,7 @@ from repro.experiments.model_check import run_model_check
 @pytest.fixture(scope="module")
 def model_rows(full_ctx, save_table):
     rows, table = run_model_check(full_ctx)
-    save_table("model_check", table.render())
+    save_table("model_check", table)
     return rows, table
 
 

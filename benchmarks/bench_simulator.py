@@ -111,7 +111,7 @@ def test_figure3_cold_price_speedup(save_table):
                       t_auto * 1000, speedups[n], n / t_auto / 1e6)
     print()
     print(table.render())
-    save_table("simulator_figure3", table.render())
+    save_table("simulator_figure3", table)
     if SCALE >= 1.0:
         assert speedups[ACCEPT_N] >= ACCEPT_SPEEDUP, (
             f"only {speedups[ACCEPT_N]:.1f}x at n={ACCEPT_N}"
@@ -148,7 +148,7 @@ def test_doacross_pricing_speedup(save_table):
         table.add_row(n, t_ref * 1000, t_auto * 1000, t_ref / t_auto)
     print()
     print(table.render())
-    save_table("simulator_doacross", table.render())
+    save_table("simulator_doacross", table)
 
 
 def test_processor_scaling(save_table):
@@ -176,7 +176,7 @@ def test_processor_scaling(save_table):
                       times[None] * 1000)
     print()
     print(table.render())
-    save_table("simulator_scaling", table.render())
+    save_table("simulator_scaling", table)
 
 
 def _legacy_run_scalar(schedule, dep, w, t_poll, **_kwargs):
@@ -240,9 +240,8 @@ def test_tuning_search_speedup(save_table):
     print(table.render())
     print(f"tuning-search speedup: {t_legacy / t_auto:.2f}x")
     save_table(
-        "simulator_tuning",
-        table.render() + f"\nend-to-end search speedup: "
-                         f"{t_legacy / t_auto:.2f}x",
+        "simulator_tuning", table,
+        extra=f"end-to-end search speedup: {t_legacy / t_auto:.2f}x",
     )
     if SCALE >= 1.0:
         assert t_legacy / t_auto > 1.5

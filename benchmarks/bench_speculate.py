@@ -89,7 +89,7 @@ def test_conflict_rate_sweep(save_table):
             assert spec.fell_back
     print()
     print(table.render())
-    save_table("speculate_conflict_sweep", table.render())
+    save_table("speculate_conflict_sweep", table)
 
 
 def test_cold_speculative_beats_cold_inspector(save_table):
@@ -124,7 +124,7 @@ def test_cold_speculative_beats_cold_inspector(save_table):
     table.add_row("speculative", spec_s * 1000, classic_s / spec_s)
     print()
     print(table.render())
-    save_table("speculate_cold_vs_inspector", table.render())
+    save_table("speculate_cold_vs_inspector", table)
     assert spec_s < classic_s, (
         f"speculative cold path ({spec_s * 1000:.1f} ms) must beat the "
         f"cold inspector/executor ({classic_s * 1000:.1f} ms)"
@@ -157,4 +157,4 @@ def test_high_conflict_falls_back_bitwise(save_table):
     table.add_row("2 (fallen back)", r2.executor, 0.0, "yes")
     print()
     print(table.render())
-    save_table("speculate_fallback", table.render())
+    save_table("speculate_fallback", table)

@@ -18,7 +18,7 @@ PROBLEMS = ("SPE1", "SPE2", "SPE3", "SPE4", "SPE5", "5-PT", "9-PT", "7-PT", "L7-
 @pytest.fixture(scope="module")
 def table1(full_ctx, save_table):
     rows, table = run_table1(full_ctx, problems=PROBLEMS)
-    save_table("table1", table.render())
+    save_table("table1", table)
     return rows, table
 
 

@@ -14,8 +14,8 @@ from repro.experiments.table23 import run_table23
 @pytest.fixture(scope="module")
 def tables23(full_ctx, save_table):
     rows, tables = run_table23(full_ctx)
-    save_table("table2", tables["preschedule"].render())
-    save_table("table3", tables["self"].render())
+    save_table("table2", tables["preschedule"])
+    save_table("table3", tables["self"])
     return rows, tables
 
 

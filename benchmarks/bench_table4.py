@@ -14,7 +14,7 @@ from repro.experiments.table4 import run_table4
 @pytest.fixture(scope="module")
 def table4(full_ctx, save_table):
     rows, table = run_table4(full_ctx)
-    save_table("table4", table.render())
+    save_table("table4", table)
     return rows, table
 
 

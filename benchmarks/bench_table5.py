@@ -14,7 +14,7 @@ from repro.experiments.table5 import TABLE5_WORKLOADS, run_table5
 @pytest.fixture(scope="module")
 def table5(full_ctx, save_table):
     rows, table = run_table5(full_ctx, workloads=TABLE5_WORKLOADS)
-    save_table("table5", table.render())
+    save_table("table5", table)
     return rows, table
 
 

@@ -85,7 +85,7 @@ def test_variant_scores(save_table):
         assert pv.transformed
         assert pv.sim_makespan < pv.baseline_makespan
     print(table.render())
-    save_table("transform_variant_scores", table.render())
+    save_table("transform_variant_scores", table)
 
 
 def test_transformed_bitwise_and_strict_win(save_table):
@@ -114,7 +114,7 @@ def test_transformed_bitwise_and_strict_win(save_table):
         assert bitwise
         assert pv.sim_makespan < pv.baseline_makespan
     print(table.render())
-    save_table("transform_strict_win", table.render())
+    save_table("transform_strict_win", table)
 
 
 def test_tune_cost_amortises(save_table):
@@ -150,4 +150,4 @@ def test_tune_cost_amortises(save_table):
         assert scheduled_hit
         assert warm <= cold
     print(table.render())
-    save_table("transform_tune_amortisation", table.render())
+    save_table("transform_tune_amortisation", table)

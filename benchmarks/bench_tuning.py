@@ -77,7 +77,7 @@ def test_auto_within_tolerance_of_exhaustive(workloads, save_table):
                       verdict.sims, len(exhaustive))
     print()
     print(table.render())
-    save_table("tuning_vs_exhaustive", table.render())
+    save_table("tuning_vs_exhaustive", table)
     assert worst <= TOLERANCE, f"auto is {worst:.3f}x the exhaustive best"
 
 
@@ -118,7 +118,7 @@ def test_warm_store_skips_the_search(workloads, save_table, tmp_path):
             f"warm auto compile only {t_cold / t_warm:.1f}x faster on {name}")
     print()
     print(table.render())
-    save_table("tuning_warm_store", table.render())
+    save_table("tuning_warm_store", table)
 
 
 def test_tuned_pick_varies_by_workload(workloads, save_table):
@@ -184,7 +184,7 @@ def test_stage_two_threads_arbitration(save_table):
                       "<-" if m.spec == verdict.spec else "")
     print()
     print(table.render())
-    save_table("tuning_stage_two_threads", table.render())
+    save_table("tuning_stage_two_threads", table)
 
 
 def test_bench_auto_warm_compile(benchmark, workloads):
@@ -208,5 +208,5 @@ def test_space_size_recorded(workloads, save_table):
     )
     for i, s in enumerate(specs):
         table.add_row(i, s.executor, s.scheduler, s.assignment, s.balance)
-    save_table("tuning_space", table.render())
+    save_table("tuning_space", table)
     assert len(specs) >= 20

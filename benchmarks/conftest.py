@@ -29,10 +29,32 @@ def full_ctx() -> ExperimentContext:
 
 @pytest.fixture(scope="session")
 def save_table():
-    """Persist a rendered table under benchmarks/results/."""
+    """Persist a table under benchmarks/results/ — text and JSON.
+
+    Accepts a :class:`~repro.util.tables.TextTable` (or a sequence of
+    them), in which case both ``<name>.txt`` (ASCII rendering) and
+    ``<name>.json`` (machine-readable records via
+    :mod:`benchmarks.reporting`) are written; a plain pre-rendered
+    string keeps the legacy text-only behaviour.  ``extra`` appends
+    free-form text (charts, one-line summaries) to the ``.txt`` file
+    without polluting the records.
+    """
+    import reporting
+
     RESULTS_DIR.mkdir(exist_ok=True)
 
-    def _save(name: str, text: str) -> None:
+    def _save(name: str, table, extra: str = "") -> None:
+        if isinstance(table, str):
+            text, tables = table, []
+        elif hasattr(table, "raw_rows"):
+            text, tables = table.render(), [table]
+        else:
+            tables = list(table)
+            text = "\n\n".join(t.render() for t in tables)
+        if extra:
+            text += "\n\n" + extra
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        if tables:
+            reporting.save_json(RESULTS_DIR / f"{name}.json", name, tables)
 
     return _save

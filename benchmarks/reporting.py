@@ -1,0 +1,117 @@
+"""Machine-readable benchmark records shared by the ``bench_*`` modules.
+
+Every table saved through the ``save_table`` fixture also lands as
+``benchmarks/results/<name>.json``: a list of records, one per table
+row.  Each record carries the benchmark name and row index, a
+``columns`` mapping of raw header → value, and the canonical fields —
+``n``, ``nproc``, ``seconds``, ``speedup`` — extracted from the table
+headers so downstream tooling (CI artifact diffing, plotting) never
+parses the ASCII rendering.
+
+Header matching is heuristic but deterministic: the first column whose
+header names a time unit supplies ``seconds`` (``ms`` columns are
+converted), the first ``n``/``size`` column supplies ``n``, and so on.
+Tables with no matching column simply record ``None`` for that field —
+the raw columns are always preserved.
+"""
+
+from __future__ import annotations
+
+import json
+import numbers
+import re
+
+__all__ = ["table_records", "write_records", "save_json"]
+
+_N_HEADERS = {"n", "size"}
+_NPROC_HEADERS = {"nproc", "p", "procs", "processors"}
+_SPEEDUP_HEADERS = {"speedup", "speed-up"}
+
+# Time-unit tokens -> multiplier into seconds.  Matched as standalone
+# tokens so "ms", "(ms)", "host ms" and "model-ms" all register while
+# "stages" does not.
+_UNIT_SCALES = [
+    (re.compile(r"(?:^|[\s(\-])(ms|msec|milliseconds)(?:$|[\s)])"), 1e-3),
+    (re.compile(r"(?:^|[\s(\-])(us|usec|microseconds)(?:$|[\s)])"), 1e-6),
+    (re.compile(r"(?:^|[\s(\-])(s|sec|secs|seconds)(?:$|[\s)])"), 1.0),
+]
+
+
+def _norm(header) -> str:
+    return str(header).strip().lower()
+
+
+def _seconds_scale(header) -> float | None:
+    h = _norm(header)
+    for pattern, scale in _UNIT_SCALES:
+        if pattern.search(h):
+            return scale
+    return None
+
+
+def _as_number(value):
+    if isinstance(value, bool) or not isinstance(value, numbers.Real):
+        return None
+    return float(value)
+
+
+def _jsonable(value):
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    num = _as_number(value)
+    return num if num is not None else str(value)
+
+
+def _first(headers, values, wanted: set, *, integral: bool):
+    for header, value in zip(headers, values):
+        if _norm(header) in wanted:
+            num = _as_number(value)
+            if num is None:
+                return None
+            return int(num) if integral else num
+    return None
+
+
+def _seconds(headers, values):
+    for header, value in zip(headers, values):
+        scale = _seconds_scale(header)
+        if scale is not None:
+            num = _as_number(value)
+            if num is not None:
+                return num * scale
+    return None
+
+
+def table_records(name: str, table) -> list[dict]:
+    """One JSON-safe record per row of a :class:`TextTable`."""
+    headers = [str(h) for h in table.headers]
+    records = []
+    for idx, raw in enumerate(table.raw_rows):
+        records.append({
+            "name": name,
+            "row": idx,
+            "title": table.title or None,
+            "n": _first(headers, raw, _N_HEADERS, integral=True),
+            "nproc": _first(headers, raw, _NPROC_HEADERS, integral=True),
+            "seconds": _seconds(headers, raw),
+            "speedup": _first(headers, raw, _SPEEDUP_HEADERS,
+                              integral=False),
+            "columns": {h: _jsonable(v) for h, v in zip(headers, raw)},
+        })
+    return records
+
+
+def write_records(path, records: list[dict]) -> None:
+    with open(path, "w") as fh:
+        json.dump(records, fh, indent=1)
+        fh.write("\n")
+
+
+def save_json(path, name: str, tables) -> None:
+    """Write the records of one table (or a sequence of tables)."""
+    if hasattr(tables, "raw_rows"):
+        tables = [tables]
+    records = []
+    for table in tables:
+        records.extend(table_records(name, table))
+    write_records(path, records)

@@ -57,8 +57,17 @@ from .runtime import (
 from .tuning import Tuner, TuningStore, TuningVerdict
 # Importing the package registers the "speculative" executor/backend.
 from .speculate import AccessLog, ConflictReport, SpeculativeExecutor
+from .observe import (
+    MetricsRegistry,
+    Observer,
+    PhaseBreakdown,
+    Timeline,
+    Tracer,
+    simulated_timeline,
+    write_chrome_trace,
+)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "At",
@@ -74,6 +83,13 @@ __all__ = [
     "AccessLog",
     "ConflictReport",
     "SpeculativeExecutor",
+    "Observer",
+    "Tracer",
+    "MetricsRegistry",
+    "PhaseBreakdown",
+    "Timeline",
+    "simulated_timeline",
+    "write_chrome_trace",
     "register_executor",
     "register_scheduler",
     "register_partitioner",

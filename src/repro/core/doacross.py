@@ -65,8 +65,10 @@ class DoacrossExecutor:
             mode="doacross", unit_work=unit_work,
         )
 
-    def run_threaded(self, kernel: LoopKernel, *, timeout: float = 30.0) -> np.ndarray:
+    def run_threaded(self, kernel: LoopKernel, *, timeout: float = 30.0,
+                     timeline=None) -> np.ndarray:
         kernel.start()
         machine = ThreadedMachine(self.schedule.nproc, timeout=timeout)
-        machine.run_self_executing(kernel, self.schedule, self.dep)
+        machine.run_self_executing(kernel, self.schedule, self.dep,
+                                   timeline=timeline)
         return kernel.result()

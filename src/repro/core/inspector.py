@@ -35,6 +35,7 @@ from ..errors import ValidationError
 from ..machine.costs import MachineCosts, MULTIMAX_320
 from ..machine.simulator import simulate_self_executing
 from ..runtime.registry import partitioner_registry, scheduler_registry
+from ..observe.tracer import maybe_span
 from ..sparse.csr import CSRMatrix
 from ..util.timing import Stopwatch
 from .dependence import DependenceGraph
@@ -110,8 +111,11 @@ class InspectionResult:
 class Inspector:
     """Builds schedules from run-time dependence information."""
 
-    def __init__(self, costs: MachineCosts = MULTIMAX_320):
+    def __init__(self, costs: MachineCosts = MULTIMAX_320, *,
+                 observer=None):
         self.machine_costs = costs
+        #: Session :class:`~repro.observe.Observer` (``None`` = silent).
+        self.observer = observer
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -182,14 +186,17 @@ class Inspector:
         if isinstance(binding.get("weights"), str):
             self.check_weight_source(binding["weights"])
 
+        obs = self.observer
         sw = Stopwatch().start()
-        dep = self.dependences_of(source)
-        wf = compute_wavefronts(dep)
+        with maybe_span(obs, "inspect", strategy=strategy) as span:
+            dep = self.dependences_of(source)
+            span.annotate(n=dep.n, edges=dep.num_edges)
+            wf = compute_wavefronts(dep)
 
-        if owner is not None:
-            init_owner = owner_from_assignment(owner, nproc)
-        else:
-            init_owner = partition_fn(dep.n, nproc)
+            if owner is not None:
+                init_owner = owner_from_assignment(owner, nproc)
+            else:
+                init_owner = partition_fn(dep.n, nproc)
 
         kwargs = {"balance": balance}
         if isinstance(binding.get("weights"), str):
@@ -198,15 +205,21 @@ class Inspector:
             kwargs["weights"] = self.resolve_weight_source(
                 binding["weights"], dep
             )
-        schedule = schedule_fn(wf, init_owner, nproc, **kwargs)
+        with maybe_span(obs, "schedule", strategy=strategy,
+                        assignment=assignment, nproc=nproc):
+            schedule = schedule_fn(wf, init_owner, nproc, **kwargs)
         sw.stop()
 
+        # Table 5 pricing runs a simulation of the sweep itself — real
+        # host time worth seeing, but inspection-phase time nonetheless.
+        with maybe_span(obs, "inspect", stage="price"):
+            priced = self.price_inspection(dep, wf, nproc, init_owner)
         return InspectionResult(
             dep=dep,
             wavefronts=wf,
             schedule=schedule,
             strategy=strategy,
-            costs=self.price_inspection(dep, wf, nproc, init_owner),
+            costs=priced,
             host_seconds=sw.elapsed,
         )
 

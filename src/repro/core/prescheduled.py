@@ -70,9 +70,15 @@ class PreScheduledExecutor:
             self.schedule, self.dep, self.costs, unit_work=unit_work,
         )
 
-    def run_threaded(self, kernel: LoopKernel, *, timeout: float = 30.0) -> np.ndarray:
-        """Execute on real threads with barrier synchronization."""
+    def run_threaded(self, kernel: LoopKernel, *, timeout: float = 30.0,
+                     timeline=None) -> np.ndarray:
+        """Execute on real threads with barrier synchronization.
+
+        ``timeline`` is an optional
+        :class:`~repro.observe.TimelineRecorder` stamping every
+        iteration's interval on its processor's lane.
+        """
         kernel.start()
         machine = ThreadedMachine(self.schedule.nproc, timeout=timeout)
-        machine.run_prescheduled(kernel, self._phases)
+        machine.run_prescheduled(kernel, self._phases, timeline=timeline)
         return kernel.result()

@@ -81,9 +81,16 @@ class SelfExecutingExecutor:
             keep_finish_times=keep_finish_times,
         )
 
-    def run_threaded(self, kernel: LoopKernel, *, timeout: float = 30.0) -> np.ndarray:
-        """Execute on real threads with busy-wait coordination."""
+    def run_threaded(self, kernel: LoopKernel, *, timeout: float = 30.0,
+                     timeline=None) -> np.ndarray:
+        """Execute on real threads with busy-wait coordination.
+
+        ``timeline`` is an optional
+        :class:`~repro.observe.TimelineRecorder` stamping every
+        iteration's interval on its processor's lane.
+        """
         kernel.start()
         machine = ThreadedMachine(self.schedule.nproc, timeout=timeout)
-        machine.run_self_executing(kernel, self.schedule, self.dep)
+        machine.run_self_executing(kernel, self.schedule, self.dep,
+                                   timeline=timeline)
         return kernel.result()

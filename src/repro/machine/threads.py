@@ -63,7 +63,20 @@ class ThreadedMachine:
             raise errors[0]
 
     # ------------------------------------------------------------------
-    def run_prescheduled(self, kernel, phases) -> None:
+    @staticmethod
+    def _lane_run(kernel, timeline, lane: int):
+        """The per-processor iteration body, optionally recorded.
+
+        ``timeline`` is a
+        :class:`~repro.observe.export.TimelineRecorder` (or ``None``):
+        when recording, every ``execute_index`` call stamps a
+        ``(start, end, i)`` interval on its processor's lane.
+        """
+        if timeline is None:
+            return kernel.execute_index
+        return timeline.recording(kernel.execute_index, lane)
+
+    def run_prescheduled(self, kernel, phases, *, timeline=None) -> None:
         """Execute ``phases[w][p]`` with a barrier after every phase.
 
         ``phases`` is the output of :meth:`repro.core.Schedule.phases`.
@@ -72,14 +85,16 @@ class ThreadedMachine:
         num_phases = len(phases)
 
         def proc(p):
+            run = self._lane_run(kernel, timeline, p)
             for w in range(num_phases):
                 for i in phases[w][p]:
-                    kernel.execute_index(int(i))
+                    run(int(i))
                 barrier.wait(timeout=self.timeout)
 
         self._launch(proc, [(p,) for p in range(self.nproc)])
 
-    def run_self_executing(self, kernel, schedule, dep) -> None:
+    def run_self_executing(self, kernel, schedule, dep, *,
+                           timeline=None) -> None:
         """Execute with busy-wait coordination on a shared ready list.
 
         Faithful to Figure 4: each iteration spins until every operand's
@@ -92,6 +107,7 @@ class ThreadedMachine:
         deadline = time.monotonic() + self.timeout
 
         def proc(p):
+            run = self._lane_run(kernel, timeline, p)
             for i in schedule.local_order[p]:
                 i = int(i)
                 for j in indices[indptr[i] : indptr[i + 1]]:
@@ -105,7 +121,7 @@ class ThreadedMachine:
                                 raise DeadlockError(
                                     f"busy-wait on index {j} timed out"
                                 )
-                kernel.execute_index(i)
+                run(i)
                 ready[i] = 1
 
         self._launch(proc, [(p,) for p in range(self.nproc)])

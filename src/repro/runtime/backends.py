@@ -131,7 +131,22 @@ class ThreadsBackend(ExecutionBackend):
                 "thread-safe; run it on the 'serial' backend (or the "
                 "'sim' backend for timing only)"
             )
-        return compiled.executor.run_threaded(kernel, timeout=timeout), None
+        run_threaded = compiled.executor.run_threaded
+        observer = getattr(compiled.runtime, "observer", None)
+        if observer is not None:
+            import inspect
+
+            from ..observe.export import TimelineRecorder
+
+            # Custom executors may predate the timeline protocol; only
+            # the ones that accept the kwarg get a recorder.
+            if "timeline" in inspect.signature(run_threaded).parameters:
+                recorder = TimelineRecorder(compiled.nproc)
+                x = run_threaded(kernel, timeout=timeout, timeline=recorder)
+                #: Read by the session right after execute().
+                self.last_timeline = recorder.timeline()
+                return x, None
+        return run_threaded(kernel, timeout=timeout), None
 
 
 @register_backend("processes")

@@ -57,6 +57,9 @@ class CacheStats:
     disk_hits: int = 0
     #: Inspections written through to the persistence directory.
     disk_stores: int = 0
+    #: Corrupt/foreign disk entries quarantined as misses (the store's
+    #: self-healing path: the cold path overwrites the bad entry).
+    disk_heals: int = 0
 
     @property
     def lookups(self) -> int:
@@ -91,6 +94,9 @@ class LruStoreBase:
 
     #: Used in validation error messages ("cache", "tuning store", …).
     kind = "cache"
+    #: Dotted prefix of this store's metrics when a session observes
+    #: (``schedule_cache.hits``, ``tuning_store.misses``, …).
+    metric_prefix = "cache"
 
     def __init__(self, maxsize: int, persist_dir=None):
         if maxsize <= 0:
@@ -101,6 +107,14 @@ class LruStoreBase:
             self.persist_dir.mkdir(parents=True, exist_ok=True)
         self._entries: OrderedDict[str, object] = OrderedDict()
         self.stats = CacheStats()
+        #: Session :class:`~repro.observe.Observer` mirror of the
+        #: counters (``None`` keeps the store metrics-free).
+        self.observer = None
+
+    def _count(self, event: str, amount: float = 1.0) -> None:
+        """Mirror one counter bump into the session's observer."""
+        if self.observer is not None:
+            self.observer.inc(f"{self.metric_prefix}.{event}", amount)
 
     def _install(self, key: str, value) -> None:
         self._entries[key] = value
@@ -108,6 +122,7 @@ class LruStoreBase:
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
+            self._count("evictions")
 
     def clear(self) -> None:
         """Drop the in-memory entries (disk entries are kept)."""
@@ -133,6 +148,8 @@ class ScheduleCache(LruStoreBase):
         Misses consult it before re-inspecting, and every stored entry
         is written to it, so the amortisation survives process restarts.
     """
+
+    metric_prefix = "schedule_cache"
 
     def __init__(self, maxsize: int = 128, persist_dir=None):
         super().__init__(maxsize, persist_dir)
@@ -174,6 +191,7 @@ class ScheduleCache(LruStoreBase):
         if entry is not None:
             self._entries.move_to_end(key)
             self.stats.hits += 1
+            self._count("hits")
             return entry
         if self.persist_dir is not None and dep is not None:
             entry = self._load_disk(key, dep)
@@ -181,9 +199,11 @@ class ScheduleCache(LruStoreBase):
                 # A disk-served lookup is a hit, not a miss: the caller
                 # skips the cold inspection exactly as on a memory hit.
                 self.stats.disk_hits += 1
+                self._count("disk_hits")
                 self._install(key, entry)
                 return entry
         self.stats.misses += 1
+        self._count("misses")
         return None
 
     def put(self, key: str, inspection) -> None:
@@ -217,6 +237,7 @@ class ScheduleCache(LruStoreBase):
         tmp.write_text(json.dumps(meta))
         tmp.replace(meta_path)
         self.stats.disk_stores += 1
+        self._count("disk_stores")
 
     def _load_disk(self, key: str, dep):
         from ..core.inspector import InspectionResult, InspectorCosts
@@ -235,6 +256,8 @@ class ScheduleCache(LruStoreBase):
         except Exception:
             # A corrupt or foreign file is a miss, not a crash — the
             # cold path re-inspects and overwrites the bad entry.
+            self.stats.disk_heals += 1
+            self._count("disk_heals")
             return None
         return InspectionResult(
             dep=dep,

@@ -49,6 +49,8 @@ import numpy as np
 from ..errors import ValidationError
 from ..machine.costs import MachineCosts, MULTIMAX_320
 from ..machine.simulator import SimResult
+from ..observe.observer import Observer
+from ..observe.tracer import maybe_span, now
 from ..util.timing import Stopwatch
 from ..util.validation import check_positive
 from . import backends as _backends  # noqa: F401 — registers the built-ins
@@ -116,6 +118,12 @@ class RunReport:
     #: :class:`~repro.speculate.ConflictReport` of a speculative
     #: execution (``None`` on the classic inspected paths).
     speculation: object | None = None
+    #: :class:`~repro.observe.PhaseBreakdown` of this call's wall time
+    #: (inspect/schedule/tune/execute; only when the session observes).
+    phases: object | None = None
+    #: :class:`~repro.observe.Timeline` of a recorded threaded run
+    #: (only when the session observes and the backend records one).
+    timeline: object | None = None
 
     @property
     def inspect_cost(self) -> float:
@@ -208,16 +216,28 @@ class CompiledLoop:
             kernel = self.bound_kernel
         name = backend if backend is not None else self.runtime.backend
         backend_obj = backend_registry.get(name)()
-        sw = Stopwatch().start()
-        x, sim = backend_obj.execute(
-            self, kernel, unit_work=unit_work, timeout=timeout,
-        )
-        sw.stop()
+        obs = self.runtime.observer
+        if obs is None:
+            sw = Stopwatch().start()
+            x, sim = backend_obj.execute(
+                self, kernel, unit_work=unit_work, timeout=timeout,
+            )
+            sw.stop()
+        else:
+            mark = obs.mark()
+            t0 = now()
+            sw = Stopwatch().start()
+            with obs.span("execute", backend=name,
+                          executor=self.executor_name):
+                x, sim = backend_obj.execute(
+                    self, kernel, unit_work=unit_work, timeout=timeout,
+                )
+            sw.stop()
         if sim is None and with_sim:
             sim = self.simulate(unit_work=unit_work)
         self.executions += 1
         cache = self.runtime.cache
-        return RunReport(
+        report = RunReport(
             x=x,
             sim=sim,
             inspection=self.inspection,
@@ -231,6 +251,15 @@ class CompiledLoop:
             host_seconds=sw.elapsed,
             cache_stats=cache.stats.snapshot() if cache is not None else None,
         )
+        if obs is not None:
+            timeline = getattr(backend_obj, "last_timeline", None)
+            report.timeline = timeline
+            obs.record_execution(name, sw.elapsed, sim=sim,
+                                 timeline=timeline)
+            # Execute-only window; :meth:`Runtime.run` widens this to
+            # the full compile→execute breakdown.
+            report.phases = obs.phase_breakdown(mark, now() - t0)
+        return report
 
     #: Named alias for the call protocol.
     run = __call__
@@ -323,6 +352,15 @@ class Runtime:
         ranking.  ``None`` (default) keeps the classic makespan-only
         scoring.  The adaptive speculation guard also prices its
         break-even conflict rate against this horizon.
+    observe:
+        ``True`` builds a fresh :class:`~repro.observe.Observer` and
+        threads it through every subsystem (spans on compile/run/tune,
+        cache/tuner/speculation metrics, execution timelines on the
+        ``threads`` backend — see ``RunReport.phases`` and
+        ``observer.export_chrome_trace``).  An ``Observer`` instance
+        is adopted as-is (share one across sessions to aggregate).
+        ``False`` (default) keeps every hot path exactly as
+        uninstrumented: the only cost is an ``is None`` test.
     """
 
     def __init__(self, nproc: int = 8, *, backend: str = "serial",
@@ -330,9 +368,19 @@ class Runtime:
                  cache: ScheduleCache | int | None = 128,
                  cache_dir=None, tuning=64, tuning_dir=None,
                  tune_seed: int = 0,
-                 expected_executions: float | None = None):
+                 expected_executions: float | None = None,
+                 observe: bool | Observer = False):
         from ..core.inspector import Inspector  # deferred: import cycle
 
+        if observe is True:
+            self.observer: Observer | None = Observer()
+        elif observe is False or observe is None:
+            self.observer = None
+        elif isinstance(observe, Observer):
+            self.observer = observe
+        else:
+            raise ValidationError(
+                "observe must be a bool or an Observer instance")
         self.nproc = check_positive(nproc, "nproc")
         self.backend = backend_registry.validate(backend)
         self.costs = costs
@@ -359,7 +407,15 @@ class Runtime:
             self.tuning_store = tuning
         self.tune_seed = int(tune_seed)
         self._tuner = None  # built on the first strategy="auto" compile
-        self._inspector = Inspector(costs)
+        self._inspector = Inspector(costs, observer=self.observer)
+        if self.observer is not None:
+            # Mirror the stores' counters into the session's metrics.
+            # Only set when observing: a store shared with another
+            # (un-observed) session must keep its own observer intact.
+            if self.cache is not None:
+                self.cache.observer = self.observer
+            if self.tuning_store is not None:
+                self.tuning_store.observer = self.observer
         # Amortisation counter per structure key, bounded like the
         # cache it annotates (an evicted structure restarts at 1).
         self._compile_counts: OrderedDict[str, int] = OrderedDict()
@@ -465,6 +521,23 @@ class Runtime:
         decision in the ``TuningStore``, when the measured conflict
         rate is too high.
         """
+        obs = self.observer
+        if obs is None:
+            return self._compile_impl(
+                deps, executor=executor, scheduler=scheduler,
+                assignment=assignment, balance=balance, strategy=strategy)
+        with obs.span("compile",
+                      strategy=strategy or f"{executor}/{scheduler}") as span:
+            loop = self._compile_impl(
+                deps, executor=executor, scheduler=scheduler,
+                assignment=assignment, balance=balance, strategy=strategy)
+            span.annotate(executor=loop.executor_name,
+                          cache_hit=loop.cache_hit)
+        return loop
+
+    def _compile_impl(self, deps, *, executor: str, scheduler: str,
+                      assignment: str, balance: str,
+                      strategy: str | None) -> CompiledLoop:
         program = deps if getattr(deps, "__loop_program__", False) else None
         verdict = None
         if strategy is not None:
@@ -600,7 +673,8 @@ class Runtime:
 
             self._tuner = Tuner(self.nproc, self.costs,
                                 seed=self.tune_seed,
-                                store=self.tuning_store)
+                                store=self.tuning_store,
+                                observer=self.observer)
         return self._tuner
 
     def tune(self, deps, *, kernel=None, backend: str | None = None):
@@ -613,9 +687,10 @@ class Runtime:
         simulator's finalists.  A session ``expected_executions``
         horizon makes the scores amortisation-aware.
         """
-        return self._ensure_tuner().tune(
-            deps, kernel=kernel, backend=backend,
-            expected_executions=self.expected_executions)
+        with maybe_span(self.observer, "tune", entry="runtime"):
+            return self._ensure_tuner().tune(
+                deps, kernel=kernel, backend=backend,
+                expected_executions=self.expected_executions)
 
     # ------------------------------------------------------------------
     def run(self, kernel, deps=None, *, backend: str | None = None,
@@ -630,7 +705,27 @@ class Runtime:
         (the library kernels all do).  Repeated calls with identical
         strategy specs hit the session's strategy memo and schedule
         cache — no registry re-parsing, no re-inspection.
+
+        When the session observes, ``report.phases`` covers the whole
+        call — compile (inspect/schedule/tune) *and* execute — so the
+        phase sum accounts for this call's wall time.
         """
+        obs = self.observer
+        if obs is None:
+            return self._run_impl(kernel, deps, backend=backend,
+                                  unit_work=unit_work, timeout=timeout,
+                                  **compile_options)
+        mark = obs.mark()
+        t0 = now()
+        with obs.span("run", backend=backend or self.backend):
+            report = self._run_impl(kernel, deps, backend=backend,
+                                    unit_work=unit_work, timeout=timeout,
+                                    **compile_options)
+        report.phases = obs.phase_breakdown(mark, now() - t0)
+        return report
+
+    def _run_impl(self, kernel, deps, *, backend, unit_work, timeout,
+                  **compile_options) -> RunReport:
         if deps is None:
             if getattr(kernel, "__loop_program__", False):
                 kernel, deps = None, kernel

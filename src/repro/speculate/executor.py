@@ -42,6 +42,7 @@ import numpy as np
 from ..errors import ValidationError
 from ..machine.costs import MachineCosts
 from ..machine.simulator import SimResult
+from ..observe.tracer import maybe_span
 from ..runtime.registry import register_executor
 from ..util.rng import default_rng
 from .shadow import AccessLog, ShadowScan, repair_set, scan_accesses
@@ -142,7 +143,7 @@ class SpeculativeExecutor:
 
     def __init__(self, log: AccessLog, nproc: int,
                  costs: MachineCosts = MachineCosts(), *, seed=None,
-                 chunks_per_proc: int = 4, schedule=None):
+                 chunks_per_proc: int = 4, schedule=None, observer=None):
         if nproc < 1:
             raise ValidationError("nproc must be positive")
         self.log = log
@@ -150,6 +151,8 @@ class SpeculativeExecutor:
         self.costs = costs
         self.seed = seed
         self.chunks_per_proc = int(chunks_per_proc)
+        #: Session :class:`~repro.observe.Observer` (``None`` = silent).
+        self.observer = observer
         self.schedule = schedule if schedule is not None else _SpecSchedule(
             n=log.n, nproc=self.nproc)
         #: :class:`ConflictReport` of the most recent :meth:`run`.
@@ -202,7 +205,9 @@ class SpeculativeExecutor:
     def plan(self) -> SpeculationPlan:
         """The (cached) attempt/detect/repair plan of this structure."""
         if self._plan is None:
-            self._plan = self._build_plan()
+            with maybe_span(self.observer, "speculate.plan",
+                            n=self.log.n, events=self.log.num_events):
+                self._plan = self._build_plan()
         return self._plan
 
     def _build_plan(self) -> SpeculationPlan:
@@ -263,13 +268,18 @@ class SpeculativeExecutor:
                 f"kernel result has {x.shape[0]} elements but the loop "
                 f"writes element {int(log.write_el.max())}"
             )
+        obs = self.observer
         base = x.copy() if plan.repair_indices.size else None
-        for lo, hi in plan.chunk_bounds:
-            kernel.execute_batch(np.arange(lo, hi, dtype=np.int64))
+        with maybe_span(obs, "speculate.attempt",
+                        chunks=len(plan.chunk_bounds)):
+            for lo, hi in plan.chunk_bounds:
+                kernel.execute_batch(np.arange(lo, hi, dtype=np.int64))
         if plan.repair_indices.size:
-            x[plan.restore_elements] = base[plan.restore_elements]
-            for i in plan.repair_indices:
-                kernel.execute_index(int(i))
+            with maybe_span(obs, "speculate.repair",
+                            re_executed=int(plan.repair_indices.size)):
+                x[plan.restore_elements] = base[plan.restore_elements]
+                for i in plan.repair_indices:
+                    kernel.execute_index(int(i))
         self.last_conflicts = dataclasses.replace(plan.report)
         return kernel.result()
 

@@ -132,6 +132,9 @@ class _SpeculativeCallMixin:
                 self._fallback_loop = self._compile_fallback()
             elif not self._verdict_recorded:
                 self._record_verdict(conflicts, fallback=False)
+            observer = self.runtime.observer
+            if observer is not None:
+                observer.record_speculation(conflicts)
         return report
 
     run = __call__
@@ -215,7 +218,8 @@ def compile_speculative(runtime, deps, *, verdict=None):
         if remembered is not None and remembered.executor != "speculative":
             return runtime.compile(deps, **remembered.compile_kwargs())
     executor = SpeculativeExecutor(log, runtime.nproc, runtime.costs,
-                                   seed=runtime.tune_seed)
+                                   seed=runtime.tune_seed,
+                                   observer=runtime.observer)
     sw.stop()
     inspection = _SpeculativeInspection(deps, log, executor.schedule,
                                         host_seconds=sw.elapsed)

@@ -111,6 +111,7 @@ class TuningStore(LruStoreBase):
     """
 
     kind = "tuning store"
+    metric_prefix = "tuning_store"
 
     def __init__(self, maxsize: int = 64, persist_dir=None):
         super().__init__(maxsize, persist_dir)
@@ -145,14 +146,17 @@ class TuningStore(LruStoreBase):
         if verdict is not None:
             self._entries.move_to_end(key)
             self.stats.hits += 1
+            self._count("hits")
             return dataclasses.replace(verdict, searched=False)
         if self.persist_dir is not None:
             verdict = self._load_disk(key)
             if verdict is not None:
                 self.stats.disk_hits += 1
+                self._count("disk_hits")
                 self._install(key, verdict)
                 return dataclasses.replace(verdict, searched=False)
         self.stats.misses += 1
+        self._count("misses")
         return None
 
     def put(self, key: str, verdict: TuningVerdict) -> None:
@@ -174,6 +178,7 @@ class TuningStore(LruStoreBase):
         tmp.write_text(json.dumps(payload))
         tmp.replace(path)
         self.stats.disk_stores += 1
+        self._count("disk_stores")
 
     def _load_disk(self, key: str) -> TuningVerdict | None:
         path = self._path(key)
@@ -187,6 +192,8 @@ class TuningStore(LruStoreBase):
         except Exception:
             # Corrupt / truncated / foreign file: a miss, not a crash —
             # the re-search overwrites the bad entry.
+            self.stats.disk_heals += 1
+            self._count("disk_heals")
             return None
 
     # ------------------------------------------------------------------

@@ -33,6 +33,7 @@ from ..core.inspector import Inspector
 from ..errors import ReproError, ValidationError
 from ..machine.costs import MULTIMAX_320, MachineCosts
 from ..machine.simulator import sequential_time
+from ..observe.tracer import maybe_span
 from ..runtime.registry import executor_registry
 from ..util.validation import check_positive
 from .features import WorkloadFeatures, extract_features
@@ -152,6 +153,7 @@ class Tuner:
         min_rung: int = 256,
         finalists: int = 3,
         repeats: int = 3,
+        observer=None,
     ):
         from ..runtime.session import Runtime  # deferred: import cycle
 
@@ -159,6 +161,10 @@ class Tuner:
         self.costs = costs
         self.seed = int(seed)
         self.store = store
+        #: Session :class:`~repro.observe.Observer` (``None`` = silent).
+        #: Shared with the private search runtime, so candidate
+        #: inspections nest (non-double-counted) under the tune span.
+        self.observer = observer
         if not 0.0 < keep <= 1.0:
             raise ValidationError("keep must lie in (0, 1]")
         self.rung_fractions = tuple(sorted(rung_fractions))
@@ -170,7 +176,8 @@ class Tuner:
         self.repeats = check_positive(repeats, "repeats")
         #: Private search session: candidate compiles land in its
         #: ScheduleCache, never the caller's.
-        self._runtime = Runtime(nproc, costs=costs, cache=256, tuning=None)
+        self._runtime = Runtime(nproc, costs=costs, cache=256, tuning=None,
+                                observe=observer)
         #: Measurements of the most recent search (for reporting).
         self.last_measurements: list[Measurement] = []
 
@@ -212,6 +219,8 @@ class Tuner:
             )
             verdict = self.store.get(key)
             if verdict is not None:
+                if self.observer is not None:
+                    self.observer.inc("tuner.store_hits")
                 return verdict
         verdict = self.search(dep, candidates,
                               kernel=kernel, backend=backend,
@@ -240,14 +249,39 @@ class Tuner:
             raise ValidationError("the candidate space is empty")
         if features is None:
             features = extract_features(dep, None, self.costs)
+        obs = self.observer
+        with maybe_span(obs, "tune", n=dep.n,
+                        candidates=len(candidates)) as span:
+            verdict = self._search_impl(
+                dep, candidates, features=features, kernel=kernel,
+                backend=backend, unit_work=unit_work,
+                expected_executions=expected_executions)
+            span.annotate(sims=verdict.sims, winner=verdict.label())
+        return verdict
 
+    def _search_impl(
+        self,
+        dep,
+        candidates: list[CandidateSpec],
+        *,
+        features: WorkloadFeatures,
+        kernel,
+        backend: str | None,
+        unit_work: np.ndarray | None,
+        expected_executions: float | None,
+    ) -> TuningVerdict:
+        obs = self.observer
+        if obs is not None:
+            obs.inc("tuner.searches")
+            obs.inc("tuner.candidates", len(candidates))
         measurements = {spec: Measurement(spec) for spec in candidates}
         rng = np.random.default_rng(self.seed)
         survivors = [candidates[i] for i in rng.permutation(len(candidates))]
         sims = 0
 
         # Pruning rungs: simulate on growing prefixes, halve the field.
-        for m in self._rung_sizes(dep.n):
+        for rung, m in enumerate(self._rung_sizes(dep.n)):
+            entered = len(survivors)
             sub = prefix_graph(dep, m)
             sub_uw = None if unit_work is None else unit_work[:m]
             scored = []
@@ -275,6 +309,9 @@ class Tuner:
                 if spec.executor not in seen_exec and math.isfinite(score):
                     seen_exec.add(spec.executor)
                     survivors.append(spec)
+            if obs is not None:
+                obs.inc(f"tuner.rung{rung}.pruned",
+                        entered - len(survivors))
 
         # Final rung: every survivor at full size.
         scored = []
@@ -315,6 +352,8 @@ class Tuner:
         self.last_measurements = [
             measurements[spec] for spec in candidates
         ]
+        if obs is not None:
+            obs.inc("tuner.sims", sims)
         return TuningVerdict(
             executor=best.executor,
             scheduler=best.scheduler,
@@ -369,19 +408,22 @@ class Tuner:
         variants = enumerate_variants(prog)
         sync = self.costs.sync_cost(self.nproc)
         results = []
-        for variant in variants:
-            stage_verdicts = []
-            total = sync * (len(variant.stages) - 1)
-            for stage in variant.stages:
-                sp = stage.program
-                verdict = self.tune(
-                    sp.dependence_graph(),
-                    unit_work=sp.unit_work(self.costs),
-                    expected_executions=expected_executions,
-                )
-                stage_verdicts.append(verdict)
-                total += verdict.sim_makespan
-            results.append((total, variant, tuple(stage_verdicts)))
+        with maybe_span(self.observer, "tune",
+                        variants=len(variants)) as span:
+            for variant in variants:
+                stage_verdicts = []
+                total = sync * (len(variant.stages) - 1)
+                for stage in variant.stages:
+                    sp = stage.program
+                    verdict = self.tune(
+                        sp.dependence_graph(),
+                        unit_work=sp.unit_work(self.costs),
+                        expected_executions=expected_executions,
+                    )
+                    stage_verdicts.append(verdict)
+                    total += verdict.sim_makespan
+                results.append((total, variant, tuple(stage_verdicts)))
+            span.annotate(winner=min(results, key=lambda t: t[0])[1].name)
         baseline = results[0][0]  # identity is always first
         best_total, best_variant, best_verdicts = min(
             results, key=lambda t: t[0])

@@ -50,6 +50,9 @@ class TextTable:
             raise ValueError("formats must match headers in length")
         self.title = title
         self.rows: list[list[str]] = []
+        #: Unformatted row values, parallel to ``rows`` — what the
+        #: machine-readable benchmark records are built from.
+        self.raw_rows: list[tuple] = []
 
     def add_row(self, *values) -> None:
         """Append a row; values are formatted immediately."""
@@ -57,6 +60,7 @@ class TextTable:
             raise ValueError(
                 f"expected {len(self.headers)} values, got {len(values)}"
             )
+        self.raw_rows.append(values)
         self.rows.append([_fmt(v, f) for v, f in zip(values, self.formats)])
 
     def extend(self, rows: Iterable[Sequence]) -> None:

@@ -4,11 +4,15 @@ The *simulated* machine timings of :mod:`repro.machine` are the primary
 results of this library, but the inspector-overhead experiments
 (Table 5 of the paper) also report *actual* host time spent sorting, and
 the test-suite sanity-checks that inspection cost is amortisable.
+
+The stopwatch reads :data:`repro.observe.tracer.now` — the same clock
+every span and execution timeline uses — so a stopwatch interval and
+the span enclosing it can never disagree.
 """
 
 from __future__ import annotations
 
-import time
+from ..observe.tracer import now
 
 __all__ = ["Stopwatch"]
 
@@ -30,13 +34,13 @@ class Stopwatch:
         self._t0: float | None = None
 
     def start(self) -> "Stopwatch":
-        self._t0 = time.perf_counter()
+        self._t0 = now()
         return self
 
     def stop(self) -> float:
         if self._t0 is None:
             raise RuntimeError("Stopwatch.stop() called before start()")
-        dt = time.perf_counter() - self._t0
+        dt = now() - self._t0
         self.elapsed += dt
         self._t0 = None
         return dt
