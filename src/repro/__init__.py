@@ -36,6 +36,9 @@ from .errors import (
     StructureError,
     ScheduleError,
     DeadlockError,
+    ExecutionError,
+    ExecutionTimeout,
+    InjectedFault,
     TransformError,
     ConvergenceError,
 )
@@ -57,6 +60,12 @@ from .runtime import (
 from .tuning import Tuner, TuningStore, TuningVerdict
 # Importing the package registers the "speculative" executor/backend.
 from .speculate import AccessLog, ConflictReport, SpeculativeExecutor
+from .resilience import (
+    FaultPlan,
+    FaultSpec,
+    RecoveryRecord,
+    RetryPolicy,
+)
 from .observe import (
     MetricsRegistry,
     Observer,
@@ -67,7 +76,7 @@ from .observe import (
     write_chrome_trace,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "At",
@@ -83,6 +92,10 @@ __all__ = [
     "AccessLog",
     "ConflictReport",
     "SpeculativeExecutor",
+    "FaultPlan",
+    "FaultSpec",
+    "RetryPolicy",
+    "RecoveryRecord",
     "Observer",
     "Tracer",
     "MetricsRegistry",
@@ -99,6 +112,9 @@ __all__ = [
     "StructureError",
     "ScheduleError",
     "DeadlockError",
+    "ExecutionError",
+    "ExecutionTimeout",
+    "InjectedFault",
     "TransformError",
     "ConvergenceError",
     "doconsider",

@@ -66,9 +66,10 @@ class DoacrossExecutor:
         )
 
     def run_threaded(self, kernel: LoopKernel, *, timeout: float = 30.0,
-                     timeline=None) -> np.ndarray:
+                     timeline=None, faults=None) -> np.ndarray:
         kernel.start()
-        machine = ThreadedMachine(self.schedule.nproc, timeout=timeout)
+        machine = ThreadedMachine(self.schedule.nproc, timeout=timeout,
+                                  faults=faults)
         machine.run_self_executing(kernel, self.schedule, self.dep,
                                    timeline=timeline)
         return kernel.result()

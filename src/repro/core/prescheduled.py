@@ -71,14 +71,17 @@ class PreScheduledExecutor:
         )
 
     def run_threaded(self, kernel: LoopKernel, *, timeout: float = 30.0,
-                     timeline=None) -> np.ndarray:
+                     timeline=None, faults=None) -> np.ndarray:
         """Execute on real threads with barrier synchronization.
 
         ``timeline`` is an optional
         :class:`~repro.observe.TimelineRecorder` stamping every
-        iteration's interval on its processor's lane.
+        iteration's interval on its processor's lane; ``faults`` an
+        optional :class:`~repro.resilience.FaultPlan` the machine's
+        watchdog consults.
         """
         kernel.start()
-        machine = ThreadedMachine(self.schedule.nproc, timeout=timeout)
+        machine = ThreadedMachine(self.schedule.nproc, timeout=timeout,
+                                  faults=faults)
         machine.run_prescheduled(kernel, self._phases, timeline=timeline)
         return kernel.result()

@@ -82,15 +82,18 @@ class SelfExecutingExecutor:
         )
 
     def run_threaded(self, kernel: LoopKernel, *, timeout: float = 30.0,
-                     timeline=None) -> np.ndarray:
+                     timeline=None, faults=None) -> np.ndarray:
         """Execute on real threads with busy-wait coordination.
 
         ``timeline`` is an optional
         :class:`~repro.observe.TimelineRecorder` stamping every
-        iteration's interval on its processor's lane.
+        iteration's interval on its processor's lane; ``faults`` an
+        optional :class:`~repro.resilience.FaultPlan` the machine's
+        watchdog consults.
         """
         kernel.start()
-        machine = ThreadedMachine(self.schedule.nproc, timeout=timeout)
+        machine = ThreadedMachine(self.schedule.nproc, timeout=timeout,
+                                  faults=faults)
         machine.run_self_executing(kernel, self.schedule, self.dep,
                                    timeline=timeline)
         return kernel.result()

@@ -41,6 +41,50 @@ class DeadlockError(ScheduleError):
     """Self-execution deadlocked: a cycle of busy-waits was detected."""
 
 
+class ExecutionError(ReproError, RuntimeError):
+    """A backend execution failed inside a worker.
+
+    Raised (in the calling thread) when a worker thread or process
+    dies mid-run: the original exception travels as ``__cause__`` and
+    ``iteration`` carries the loop index that was executing, so a
+    failure deep in a wavefront is attributable rather than a bare
+    join-time surprise.  Recoverable: the
+    :mod:`repro.resilience` degradation chain retries these down-tier.
+    """
+
+    def __init__(self, message: str, *, iteration: int | None = None):
+        super().__init__(message)
+        #: Loop iteration that was executing when the worker failed
+        #: (``None`` when the failure was outside any iteration body).
+        self.iteration = None if iteration is None else int(iteration)
+
+
+class ExecutionTimeout(ExecutionError, DeadlockError):
+    """The watchdog cancelled a run that exceeded its ``timeout``.
+
+    Subclasses both :class:`ExecutionError` (it is a recoverable
+    execution failure) and :class:`DeadlockError` (historically the
+    thread machine's wall-clock guard reported deadlocks this way, and
+    a stuck wavefront is indistinguishable from one).
+    """
+
+
+class InjectedFault(ReproError, RuntimeError):
+    """A failure deliberately injected by a :class:`~repro.resilience.FaultPlan`.
+
+    Never raised in production sessions (``Runtime(faults=None)``);
+    carries the seam name and, for iteration-targeted seams, the index
+    the fault fired at.
+    """
+
+    def __init__(self, message: str, *, seam: str, iteration: int | None = None):
+        super().__init__(message)
+        #: Name of the fault seam that fired (``"kernel"``, ``"store"``, …).
+        self.seam = seam
+        #: Targeted loop iteration, when the seam is iteration-scoped.
+        self.iteration = None if iteration is None else int(iteration)
+
+
 class TransformError(ReproError, ValueError):
     """The source-to-source transformer could not handle a loop.
 

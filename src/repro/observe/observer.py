@@ -9,9 +9,11 @@ disabled-path cost, which is what keeps observability free by default.
 
 from __future__ import annotations
 
+import json
+
 from .export import write_chrome_trace, write_jsonl
 from .metrics import MetricsRegistry
-from .tracer import PhaseBreakdown, Tracer
+from .tracer import PhaseBreakdown, Tracer, now
 
 __all__ = ["Observer"]
 
@@ -92,6 +94,26 @@ class Observer:
 
     def export_jsonl(self, path) -> int:
         return write_jsonl(path, self)
+
+    def write_metrics_jsonl(self, path, *, append: bool = True,
+                            label: str | None = None) -> int:
+        """Append one JSON line snapshotting every metric to ``path``.
+
+        Designed for periodic (call it from a loop) or final (call it
+        once at exit) export, so fault/retry/contention rates are
+        visible without a debugger — each line carries a monotonic
+        ``t`` stamp, an optional ``label``, and the full
+        :meth:`MetricsRegistry.as_dict` payload.  ``append=False``
+        truncates first.  Returns the number of instruments exported.
+        """
+        snapshot = self.metrics.as_dict()
+        line = {"t": now(), "metrics": snapshot}
+        if label is not None:
+            line["label"] = label
+        mode = "a" if append else "w"
+        with open(path, mode, encoding="utf-8") as fh:
+            fh.write(json.dumps(line) + "\n")
+        return len(snapshot)
 
     def export_chrome_trace(self, path, timelines=()) -> dict:
         return write_chrome_trace(path, observer=self, timelines=timelines)

@@ -133,6 +133,17 @@ class ThreadsBackend(ExecutionBackend):
             )
         run_threaded = compiled.executor.run_threaded
         observer = getattr(compiled.runtime, "observer", None)
+        faults = getattr(compiled.runtime, "faults", None)
+        kwargs = {"timeout": timeout}
+        if faults is not None:
+            import inspect
+
+            # Custom executors may predate the fault protocol; only
+            # the ones that accept the kwarg get the plan (their
+            # watchdog then honors injected timeouts and stall
+            # cancellation).
+            if "faults" in inspect.signature(run_threaded).parameters:
+                kwargs["faults"] = faults
         if observer is not None:
             import inspect
 
@@ -142,11 +153,11 @@ class ThreadsBackend(ExecutionBackend):
             # the ones that accept the kwarg get a recorder.
             if "timeline" in inspect.signature(run_threaded).parameters:
                 recorder = TimelineRecorder(compiled.nproc)
-                x = run_threaded(kernel, timeout=timeout, timeline=recorder)
+                x = run_threaded(kernel, timeline=recorder, **kwargs)
                 #: Read by the session right after execute().
                 self.last_timeline = recorder.timeline()
                 return x, None
-        return run_threaded(kernel, timeout=timeout), None
+        return run_threaded(kernel, **kwargs), None
 
 
 @register_backend("processes")
@@ -174,16 +185,20 @@ class ProcessesBackend(ExecutionBackend):
                 "the 'processes' backend supports TriangularSolveKernel "
                 f"workloads, got {type(kernel).__name__}"
             )
+        # Faults travel as a picklable handout, not a wrapped kernel:
+        # the workers rebuild their state from the pool initializer.
+        plan = getattr(compiled.runtime, "faults", None)
+        faults = plan.process_faults(kernel.n) if plan is not None else None
         if compiled.executor_name == "preschedule":
             solver = ProcessPrescheduledSolver(
                 kernel.l, compiled.schedule, compiled.dep, diag=kernel.diag,
             )
-            x = solver.solve(kernel.b, timeout=timeout)
+            x = solver.solve(kernel.b, timeout=timeout, faults=faults)
         else:
             # Self-executing and doacross both busy-wait on ready flags;
             # doacross simply walks the identity schedule.
             solver = ProcessSelfExecutingSolver(
                 kernel.l, compiled.schedule, compiled.dep, diag=kernel.diag,
             )
-            x = solver.solve(kernel.b, timeout=timeout)
+            x = solver.solve(kernel.b, timeout=timeout, faults=faults)
         return x, None

@@ -27,9 +27,12 @@ same entry no matter which arrays they were built from.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import hashlib
+import itertools
 import json
+import os
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -37,8 +40,13 @@ from pathlib import Path
 import numpy as np
 
 from ..errors import ValidationError
+from ..util.locking import FileLock
 
 __all__ = ["ScheduleCache", "CacheStats", "LruStoreBase"]
+
+#: Deterministic junk written by an injected ``store`` fault — short
+#: enough to read as a truncated write, never a valid npz/JSON prefix.
+_CORRUPT_BYTES = b"\x00repro-partial-write\x00"
 
 
 @dataclass
@@ -60,6 +68,10 @@ class CacheStats:
     #: Corrupt/foreign disk entries quarantined as misses (the store's
     #: self-healing path: the cold path overwrites the bad entry).
     disk_heals: int = 0
+    #: Contended acquisitions of the persistence-directory lock
+    #: (another process was mid-write), and the seconds spent waiting.
+    lock_waits: int = 0
+    lock_wait_seconds: float = 0.0
 
     @property
     def lookups(self) -> int:
@@ -97,6 +109,8 @@ class LruStoreBase:
     #: Dotted prefix of this store's metrics when a session observes
     #: (``schedule_cache.hits``, ``tuning_store.misses``, …).
     metric_prefix = "cache"
+    #: Which ``store`` faults target this store ("schedule"/"tuning").
+    store_kind = "schedule"
 
     def __init__(self, maxsize: int, persist_dir=None):
         if maxsize <= 0:
@@ -110,11 +124,113 @@ class LruStoreBase:
         #: Session :class:`~repro.observe.Observer` mirror of the
         #: counters (``None`` keeps the store metrics-free).
         self.observer = None
+        #: Session :class:`~repro.resilience.FaultPlan` consulted on
+        #: disk writes (``None`` keeps persistence fault-free).
+        self.faults = None
+        #: Process-unique temp-name sequence: two writers racing on the
+        #: same key must never share a temp file.
+        self._tmp_seq = itertools.count()
 
     def _count(self, event: str, amount: float = 1.0) -> None:
         """Mirror one counter bump into the session's observer."""
         if self.observer is not None:
             self.observer.inc(f"{self.metric_prefix}.{event}", amount)
+
+    # ------------------------------------------------------------------
+    # Multi-writer persistence discipline
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def _locked(self):
+        """Advisory inter-process lock over the persistence directory.
+
+        Held only across one store + index update (milliseconds).
+        Readers stay lock-free: every write lands via atomic rename,
+        so a concurrent read sees either the old or the new entry,
+        never a torn one.  Contention is surfaced through the
+        ``lock_waits`` counters.
+        """
+        if self.persist_dir is None:
+            yield
+            return
+        lock = FileLock(self.persist_dir / ".lock")
+        lock.acquire()
+        if lock.waited > 0.0005:
+            self.stats.lock_waits += 1
+            self.stats.lock_wait_seconds += lock.waited
+            self._count("lock_waits")
+            if self.observer is not None:
+                self.observer.observe(
+                    f"{self.metric_prefix}.lock_wait_seconds", lock.waited)
+        try:
+            yield
+        finally:
+            lock.release()
+
+    def _tmp_path(self, final: Path, suffix: str) -> Path:
+        """A collision-free temp neighbour of ``final`` (same dir, so
+        the replace stays atomic on every filesystem)."""
+        return final.with_name(
+            f"{final.name}.{os.getpid()}.{next(self._tmp_seq)}.tmp{suffix}")
+
+    def _store_fault(self, final_paths) -> bool:
+        """Fire an armed injected partial write, if any.
+
+        Simulates a crash *mid-write before the rename discipline
+        existed*: junk bytes land directly at the final path(s).  A
+        later read heals them as misses.  Returns True when a fault
+        consumed this store (the caller skips the real write).
+        """
+        if self.faults is None:
+            return False
+        spec = self.faults.store_fault(self.store_kind)
+        if spec is None:
+            return False
+        for path, size in final_paths:
+            payload = (_CORRUPT_BYTES[: len(_CORRUPT_BYTES) // 2]
+                       if spec.mode == "truncate"
+                       else _CORRUPT_BYTES * max(1, size // len(_CORRUPT_BYTES)))
+            Path(path).write_bytes(payload)
+        return True
+
+    def _index_path(self) -> Path:
+        return self.persist_dir / "index.json"
+
+    def _index_bump(self, key: str) -> None:
+        """Read-modify-write the on-disk store index (lock held).
+
+        The index records per-key store counts and a global sequence —
+        the lost-update detector for the multi-writer stress tests: N
+        racing writers must land exactly N increments.
+        """
+        path = self._index_path()
+        try:
+            index = json.loads(path.read_text()) if path.exists() else {}
+            if not isinstance(index, dict):
+                raise ValueError("index is not an object")
+        except Exception:
+            # A corrupt index heals like any other entry: restart it.
+            index = {"_seq": 0}
+            self.stats.disk_heals += 1
+            self._count("disk_heals")
+        index["_seq"] = int(index.get("_seq", 0)) + 1
+        entry = index.get(key)
+        if not isinstance(entry, dict):
+            entry = {"stores": 0}
+        entry["stores"] = int(entry.get("stores", 0)) + 1
+        index[key] = entry
+        tmp = self._tmp_path(path, ".json")
+        tmp.write_text(json.dumps(index))
+        tmp.replace(path)
+
+    def disk_index(self) -> dict:
+        """The on-disk store index (empty when absent or corrupt)."""
+        if self.persist_dir is None:
+            return {}
+        try:
+            index = json.loads(self._index_path().read_text())
+            return index if isinstance(index, dict) else {}
+        except Exception:
+            return {}
 
     def _install(self, key: str, value) -> None:
         self._entries[key] = value
@@ -150,6 +266,7 @@ class ScheduleCache(LruStoreBase):
     """
 
     metric_prefix = "schedule_cache"
+    store_kind = "schedule"
 
     def __init__(self, maxsize: int = 128, persist_dir=None):
         super().__init__(maxsize, persist_dir)
@@ -223,19 +340,25 @@ class ScheduleCache(LruStoreBase):
         from ..core.schedule import save_schedule_npz  # deferred: import cycle
 
         npz_path, meta_path = self._paths(key)
-        # Write-then-rename, so a crash mid-store never leaves a
-        # truncated entry for a future run to trip on.  The temp name
-        # must keep the .npz suffix (numpy appends it otherwise).
-        tmp = npz_path.with_name(f"{key}.tmp.npz")
-        save_schedule_npz(tmp, inspection.schedule)
-        tmp.replace(npz_path)
-        meta = {
-            "strategy": inspection.strategy,
-            "costs": dataclasses.asdict(inspection.costs),
-        }
-        tmp = meta_path.with_suffix(".json.tmp")
-        tmp.write_text(json.dumps(meta))
-        tmp.replace(meta_path)
+        with self._locked():
+            if self._store_fault([(npz_path, 4096), (meta_path, 256)]):
+                return  # simulated crash mid-write; reads self-heal
+            # Write-then-rename, so a crash mid-store never leaves a
+            # truncated entry for a future run to trip on.  Temp names
+            # are process-unique (two writers racing on one key must
+            # not share one) and keep the .npz suffix (numpy appends
+            # it otherwise).
+            tmp = self._tmp_path(npz_path, ".npz")
+            save_schedule_npz(tmp, inspection.schedule)
+            tmp.replace(npz_path)
+            meta = {
+                "strategy": inspection.strategy,
+                "costs": dataclasses.asdict(inspection.costs),
+            }
+            tmp = self._tmp_path(meta_path, ".json")
+            tmp.write_text(json.dumps(meta))
+            tmp.replace(meta_path)
+            self._index_bump(key)
         self.stats.disk_stores += 1
         self._count("disk_stores")
 

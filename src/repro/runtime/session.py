@@ -51,6 +51,8 @@ from ..machine.costs import MachineCosts, MULTIMAX_320
 from ..machine.simulator import SimResult
 from ..observe.observer import Observer
 from ..observe.tracer import maybe_span, now
+from ..resilience.faults import FaultPlan
+from ..resilience.recovery import RetryPolicy, run_with_recovery
 from ..util.timing import Stopwatch
 from ..util.validation import check_positive
 from . import backends as _backends  # noqa: F401 — registers the built-ins
@@ -124,6 +126,10 @@ class RunReport:
     #: :class:`~repro.observe.Timeline` of a recorded threaded run
     #: (only when the session observes and the backend records one).
     timeline: object | None = None
+    #: :class:`~repro.resilience.RecoveryRecord` when this result was
+    #: produced through retries or a tier fallback (``None`` on clean
+    #: first-attempt successes — the overwhelmingly common case).
+    recovery: object | None = None
 
     @property
     def inspect_cost(self) -> float:
@@ -197,6 +203,25 @@ class CompiledLoop:
     def costs(self) -> MachineCosts:
         return self.runtime.costs
 
+    #: Graceful degradation: when a parallel backend's execution fails
+    #: or times out, ``Runtime(recovery=...)`` retries down this chain
+    #: (speculative loops substitute the classic pipeline instead).
+    _DEGRADATION = {"threads": ("serial",), "processes": ("serial",)}
+
+    def _tier_label(self, name: str) -> str:
+        """Display label of the first recovery tier (backend name here;
+        speculative loops override it)."""
+        return name
+
+    def _fallback_tiers(self, name: str):
+        """Down-tier chain as ``(label, backend, loop_thunk)`` triples.
+
+        ``loop_thunk=None`` reuses this loop on the fallback backend;
+        speculative loops return a thunk that lazily compiles the
+        classic pipeline.
+        """
+        return [(b, b, None) for b in self._DEGRADATION.get(name, ())]
+
     # ------------------------------------------------------------------
     def __call__(self, kernel=None, *, backend: str | None = None,
                  unit_work: np.ndarray | None = None,
@@ -211,11 +236,41 @@ class CompiledLoop:
         execution alone; the simulation is attached afterwards, and
         the default (``unit_work=None``) simulation is memoized per
         compiled loop.
+
+        ``timeout`` must be positive (wall seconds).  The ``threads``
+        backend enforces it with a watchdog
+        (:class:`~repro.errors.ExecutionTimeout` on expiry) and
+        ``processes`` as a deadline on the worker pool; ``serial`` and
+        ``sim`` validate but do not interrupt (best-effort — a serial
+        kernel cannot be cancelled cooperatively).  When the session
+        has a recovery policy (``Runtime(recovery=...)``), failures
+        and timeouts retry down the degradation chain and the report
+        carries ``report.recovery``.
         """
+        if not timeout > 0:
+            raise ValidationError("timeout must be positive (wall seconds)")
         if kernel is None:
             kernel = self.bound_kernel
         name = backend if backend is not None else self.runtime.backend
+        policy = self.runtime.recovery
+        if policy is None:
+            return self._execute(kernel, name, unit_work=unit_work,
+                                 timeout=timeout, with_sim=with_sim)
+        return run_with_recovery(self, kernel, name, policy,
+                                 unit_work=unit_work, timeout=timeout,
+                                 with_sim=with_sim)
+
+    def _execute(self, kernel, name: str, *, unit_work, timeout,
+                 with_sim) -> RunReport:
+        """One execution attempt on backend ``name`` (no retries)."""
         backend_obj = backend_registry.get(name)()
+        faults = self.runtime.faults
+        if faults is not None and kernel is not None and name != "processes":
+            # Iteration-scoped faults ride inside a kernel wrapper; the
+            # processes backend instead receives a picklable handout
+            # (its kernels must keep their concrete type for the
+            # shared-memory solvers).
+            kernel = faults.wrap_kernel(kernel)
         obs = self.runtime.observer
         if obs is None:
             sw = Stopwatch().start()
@@ -361,6 +416,21 @@ class Runtime:
         is adopted as-is (share one across sessions to aggregate).
         ``False`` (default) keeps every hot path exactly as
         uninstrumented: the only cost is an ``is None`` test.
+    faults:
+        Optional :class:`~repro.resilience.FaultPlan` injecting
+        deterministic failures at the runtime's seams (kernel
+        exceptions, worker stalls/death, corrupt store writes, forced
+        timeouts) — for testing recovery paths, never production.
+        ``None`` (default) keeps every seam exactly as unwrapped: the
+        only cost is an ``is None`` test.
+    recovery:
+        Retry/fallback discipline for failed executions: a
+        :class:`~repro.resilience.RetryPolicy`, ``True`` for the
+        default policy, or ``None``/``False`` (default) to propagate
+        the first failure unchanged.  When armed, worker crashes and
+        watchdog timeouts retry per tier and then degrade
+        (threads/processes → serial; speculative → the classic
+        pipeline), recording what happened in ``report.recovery``.
     """
 
     def __init__(self, nproc: int = 8, *, backend: str = "serial",
@@ -369,7 +439,9 @@ class Runtime:
                  cache_dir=None, tuning=64, tuning_dir=None,
                  tune_seed: int = 0,
                  expected_executions: float | None = None,
-                 observe: bool | Observer = False):
+                 observe: bool | Observer = False,
+                 faults: FaultPlan | None = None,
+                 recovery: RetryPolicy | bool | None = None):
         from ..core.inspector import Inspector  # deferred: import cycle
 
         if observe is True:
@@ -405,9 +477,31 @@ class Runtime:
                                             persist_dir=tuning_dir)
         else:
             self.tuning_store = tuning
+        if faults is not None and not isinstance(faults, FaultPlan):
+            raise ValidationError(
+                "faults must be a repro.resilience.FaultPlan (or None)")
+        self.faults = faults
+        if recovery is None or recovery is False:
+            self.recovery: RetryPolicy | None = None
+        elif recovery is True:
+            self.recovery = RetryPolicy()
+        elif isinstance(recovery, RetryPolicy):
+            self.recovery = recovery
+        else:
+            raise ValidationError(
+                "recovery must be a repro.resilience.RetryPolicy, a bool, "
+                "or None")
         self.tune_seed = int(tune_seed)
         self._tuner = None  # built on the first strategy="auto" compile
         self._inspector = Inspector(costs, observer=self.observer)
+        if self.faults is not None:
+            # The stores consult the plan on every disk write; the
+            # attribute stays None on fault-free sessions (shared
+            # stores must not inherit another session's plan).
+            if self.cache is not None:
+                self.cache.faults = self.faults
+            if self.tuning_store is not None:
+                self.tuning_store.faults = self.faults
         if self.observer is not None:
             # Mirror the stores' counters into the session's metrics.
             # Only set when observing: a store shared with another
@@ -416,6 +510,8 @@ class Runtime:
                 self.cache.observer = self.observer
             if self.tuning_store is not None:
                 self.tuning_store.observer = self.observer
+            if self.faults is not None:
+                self.faults.observer = self.observer
         # Amortisation counter per structure key, bounded like the
         # cache it annotates (an evicted structure restarts at 1).
         self._compile_counts: OrderedDict[str, int] = OrderedDict()
@@ -709,7 +805,13 @@ class Runtime:
         When the session observes, ``report.phases`` covers the whole
         call — compile (inspect/schedule/tune) *and* execute — so the
         phase sum accounts for this call's wall time.
+
+        ``timeout`` must be positive; the ``threads`` backend enforces
+        it with a watchdog thread, ``processes`` as a pool deadline,
+        and ``serial``/``sim`` validate but do not interrupt.
         """
+        if not timeout > 0:
+            raise ValidationError("timeout must be positive (wall seconds)")
         obs = self.observer
         if obs is None:
             return self._run_impl(kernel, deps, backend=backend,

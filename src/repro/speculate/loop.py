@@ -111,6 +111,29 @@ class _SpeculativeCallMixin:
         self.fallback_threshold = fallback_threshold
         self._fallback_loop = None
         self._verdict_recorded = False
+        #: Classic pipeline compiled lazily by the *recovery* chain —
+        #: distinct from ``_fallback_loop`` (the adaptive guard's
+        #: permanent demotion): a transiently injected/crashed attempt
+        #: must not cost future calls their speculative fast path.
+        self._recovery_loop = None
+
+    # ------------------------------------------------------------------
+    # Recovery-chain hooks (see repro.resilience.recovery)
+    # ------------------------------------------------------------------
+    def _tier_label(self, name: str) -> str:
+        return "speculative"
+
+    def _fallback_tiers(self, name: str):
+        # A failed speculative attempt degrades to the classic
+        # inspector/executor pipeline on the serial backend — the
+        # kernel restarts from start(), so the result is the no-fault
+        # oracle's, bitwise.
+        def classic():
+            if self._recovery_loop is None:
+                self._recovery_loop = self._compile_fallback()
+            return self._recovery_loop
+
+        return [("classic", "serial", classic)]
 
     # ------------------------------------------------------------------
     def __call__(self, kernel=None, *, backend=None, unit_work=None,

@@ -112,6 +112,7 @@ class TuningStore(LruStoreBase):
 
     kind = "tuning store"
     metric_prefix = "tuning_store"
+    store_kind = "tuning"
 
     def __init__(self, maxsize: int = 64, persist_dir=None):
         super().__init__(maxsize, persist_dir)
@@ -172,11 +173,16 @@ class TuningStore(LruStoreBase):
     def _store_disk(self, key: str, verdict: TuningVerdict) -> None:
         path = self._path(key)
         payload = {"format": _FORMAT, "verdict": verdict.to_dict()}
-        # Write-then-rename: a crash mid-store never leaves a truncated
-        # entry for a future session to trip on.
-        tmp = path.with_suffix(".json.tmp")
-        tmp.write_text(json.dumps(payload))
-        tmp.replace(path)
+        with self._locked():
+            if self._store_fault([(path, 256)]):
+                return  # simulated crash mid-write; reads self-heal
+            # Write-then-rename with a process-unique temp name: a
+            # crash mid-store never leaves a truncated entry, and two
+            # racing writers never share a temp file.
+            tmp = self._tmp_path(path, ".json")
+            tmp.write_text(json.dumps(payload))
+            tmp.replace(path)
+            self._index_bump(key)
         self.stats.disk_stores += 1
         self._count("disk_stores")
 
